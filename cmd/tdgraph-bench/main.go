@@ -1,0 +1,75 @@
+// Command tdgraph-bench regenerates the paper's tables and figures on the
+// simulated 64-core machine.
+//
+// Usage:
+//
+//	tdgraph-bench -list
+//	tdgraph-bench -exp fig10 [-scale 0.25] [-datasets LJ,OR] [-algos sssp] [-cores 64] [-seed 1]
+//	tdgraph-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tdgraph/tdgraph/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig3a..fig24b, table1..table3, or 'all')")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = preset default size)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (AZ,DL,GL,LJ,OR,FR)")
+		algos    = flag.String("algos", "", "comma-separated algorithm subset (pagerank,adsorption,sssp,cc)")
+		cores    = flag.Int("cores", 64, "simulated core count")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tdgraph-bench: -exp required (use -list to see experiments)")
+		os.Exit(2)
+	}
+	opt := bench.Options{Scale: *scale, Cores: *cores, Seed: *seed, CSV: *csvOut}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+	if *algos != "" {
+		opt.Algos = strings.Split(*algos, ",")
+	}
+
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if !*csvOut {
+			fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tdgraph-bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,80 @@
+// Command traceanalyze inspects memory-access traces written by
+// tdgraph-run -trace (or any sim.Machine with a trace sink attached): it
+// prints a summary, an LRU stack-distance histogram, and the miss-ratio
+// curve of the trace — what a fully associative LRU cache of each size
+// would miss.
+//
+//	tdgraph-run -dataset LJ -scheme TDGraph-H -trace t.txt
+//	traceanalyze -in t.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/tdgraph/tdgraph/internal/tracetool"
+)
+
+func main() {
+	in := flag.String("in", "", "trace file (default stdin)")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	accesses, err := tracetool.ParseTrace(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(accesses) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+	distances := tracetool.StackDistances(accesses)
+	s := tracetool.Summarise(accesses, distances)
+
+	fmt.Printf("accesses: %d  distinct lines: %d (%.1f KiB)  compulsory: %.1f%%\n",
+		s.Total, s.Distinct, float64(s.Distinct)*64/1024, s.ColdShare*100)
+	ops := make([]string, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Print("by op: ")
+	for _, op := range ops {
+		fmt.Printf(" %s=%d", op, s.PerOp[op])
+	}
+	fmt.Println()
+
+	fmt.Println("\nstack distance histogram (log2 buckets):")
+	hist := tracetool.Histogram(distances)
+	for b, n := range hist {
+		if n == 0 {
+			continue
+		}
+		label := "cold"
+		if b > 0 {
+			label = fmt.Sprintf("<%d", 1<<uint(b))
+		}
+		fmt.Printf("  %-8s %d\n", label, n)
+	}
+
+	fmt.Println("\nmiss ratio curve (fully associative LRU):")
+	caps := []int{64, 256, 1024, 4096, 16384, 65536}
+	mrc := tracetool.MissRatioCurve(distances, caps)
+	for i, c := range caps {
+		fmt.Printf("  %7.2f KiB  %.3f\n", float64(c)*64/1024, mrc[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/tdgraph/tdgraph
+
+go 1.22

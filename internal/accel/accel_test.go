@@ -1,0 +1,144 @@
+package accel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/accel"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// systems lists the accelerator-model constructors under test.
+func systems() map[string]func(r *engine.Runtime) engine.System {
+	return map[string]func(r *engine.Runtime) engine.System{
+		"HATS":           func(r *engine.Runtime) engine.System { return accel.NewHATS(r) },
+		"Minnow":         func(r *engine.Runtime) engine.System { return accel.NewMinnow(r) },
+		"PHI":            func(r *engine.Runtime) engine.System { return accel.NewPHI(r) },
+		"DepGraph":       func(r *engine.Runtime) engine.System { return accel.NewDepGraph(r) },
+		"JetStream":      func(r *engine.Runtime) engine.System { return accel.NewJetStream(r, false) },
+		"JetStream-with": func(r *engine.Runtime) engine.System { return accel.NewJetStream(r, true) },
+		"GraphPulse":     func(r *engine.Runtime) engine.System { return accel.NewGraphPulse(r) },
+	}
+}
+
+var allAlgos = []string{"sssp", "cc", "pagerank", "adsorption"}
+
+// TestAcceleratorsMatchOracle checks every accelerator model × algorithm
+// × seeds against the full-recompute oracle.
+func TestAcceleratorsMatchOracle(t *testing.T) {
+	for name, mk := range systems() {
+		for _, algoName := range allAlgos {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, algoName, seed), func(t *testing.T) {
+					c, err := enginetest.Make(algoName, enginetest.DefaultConfig(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rt := c.NewRuntime(engine.Options{Cores: 4})
+					sys := mk(rt)
+					sys.Process(c.Res)
+					if err := c.Verify(sys); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAcceleratorsDeleteHeavy stresses the monotonic deletion repair path
+// through each model.
+func TestAcceleratorsDeleteHeavy(t *testing.T) {
+	for name, mk := range systems() {
+		t.Run(name, func(t *testing.T) {
+			cfg := enginetest.DefaultConfig(77)
+			cfg.AddFraction = 0.2
+			c, err := enginetest.Make("sssp", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := mk(c.NewRuntime(engine.Options{Cores: 4}))
+			sys.Process(c.Res)
+			if err := c.Verify(sys); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAcceleratorsOnSimulatedMachine runs each model on the simulated
+// machine and requires simulated time and memory traffic.
+func TestAcceleratorsOnSimulatedMachine(t *testing.T) {
+	for name, mk := range systems() {
+		t.Run(name, func(t *testing.T) {
+			c, err := enginetest.Make("sssp", enginetest.Config{
+				Vertices: 600, Degree: 5, BatchSize: 80, AddFraction: 0.7, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scfg := sim.DefaultConfig()
+			scfg.Cores = 4
+			m := sim.New(scfg)
+			col := stats.NewCollector()
+			rt := c.NewRuntime(engine.Options{Machine: m, Collector: col})
+			sys := mk(rt)
+			sys.Process(c.Res)
+			if err := c.Verify(sys); err != nil {
+				t.Fatal(err)
+			}
+			if m.Time() <= 0 {
+				t.Fatal("no simulated time")
+			}
+			if m.DRAM().BytesMoved == 0 {
+				t.Fatal("no DRAM traffic")
+			}
+		})
+	}
+}
+
+// TestPHICoalescesUpdates requires PHI's combining buffer to actually
+// merge some updates on a redundant-update-heavy workload.
+func TestPHICoalescesUpdates(t *testing.T) {
+	cfg := enginetest.DefaultConfig(31)
+	cfg.Vertices = 3000
+	cfg.Degree = 8
+	cfg.BatchSize = 500
+	c, err := enginetest.Make("pagerank", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector()
+	sys := accel.NewPHI(c.NewRuntime(engine.Options{Cores: 2, Collector: col}))
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	if col.Get(stats.CtrEventsCoalesced) == 0 {
+		t.Fatal("PHI merged no updates")
+	}
+}
+
+// TestJetStreamCoalescesEvents requires the event queue to merge events.
+func TestJetStreamCoalescesEvents(t *testing.T) {
+	cfg := enginetest.DefaultConfig(33)
+	cfg.Vertices = 3000
+	cfg.Degree = 8
+	cfg.BatchSize = 500
+	c, err := enginetest.Make("sssp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector()
+	sys := accel.NewJetStream(c.NewRuntime(engine.Options{Cores: 2, Collector: col}), false)
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	if col.Get(stats.CtrEventsEnqueued) == 0 {
+		t.Fatal("JetStream enqueued no events")
+	}
+}

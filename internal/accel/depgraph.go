@@ -1,0 +1,38 @@
+package accel
+
+import (
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// DepGraph models the dependency-driven accelerator [73]: a per-core
+// engine that prefetches and dispatches dependency chains of vertices,
+// walking outward from each active vertex and processing edges as it
+// goes. Behaviourally this is TDGraph's traversal machinery *without*
+// topology-driven synchronisation (chains from different affected
+// vertices are followed eagerly and independently, so propagations are
+// not merged) and without vertex-state coalescing — which is exactly the
+// gap Figs 15's TDGraph-vs-DepGraph comparison measures.
+type DepGraph struct {
+	inner *core.TDGraph
+}
+
+// NewDepGraph builds the model over a prepared runtime.
+func NewDepGraph(r *engine.Runtime) *DepGraph {
+	cfg := core.DefaultConfig()
+	cfg.DisableSync = true
+	cfg.EnableVSCU = false
+	// DepGraph's chain buffer is comparable to the TDTU stack.
+	cfg.StackDepth = 10
+	return &DepGraph{inner: core.New(cfg, r)}
+}
+
+// Name implements engine.System.
+func (d *DepGraph) Name() string { return "DepGraph" }
+
+// Runtime implements engine.System.
+func (d *DepGraph) Runtime() *engine.Runtime { return d.inner.Runtime() }
+
+// Process implements engine.System.
+func (d *DepGraph) Process(res graph.ApplyResult) { d.inner.Process(res) }

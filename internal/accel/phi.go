@@ -1,0 +1,179 @@
+package accel
+
+import (
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// PHI models architectural support for commutative scatter updates [37]:
+// updates to vertex states are buffered in a per-core combining structure
+// in the private cache; updates to the same vertex merge (min for
+// monotonic selection, sum for accumulative deltas) and only the merged
+// result is written out when an entry is displaced, reducing on-chip
+// traffic and coherence invalidations. Scheduling is otherwise the
+// synchronous Ligra-style loop, so redundant computation persists.
+type PHI struct {
+	r *engine.Runtime
+	// BufferEntries is the per-core combining-buffer capacity.
+	BufferEntries int
+	bufs          []*combineBuffer
+}
+
+type combineEntry struct {
+	v     graph.VertexID
+	delta bool
+}
+
+type combineBuffer struct {
+	pending map[combineEntry]struct{}
+	order   []combineEntry
+}
+
+// NewPHI builds the model over a prepared runtime.
+func NewPHI(r *engine.Runtime) *PHI {
+	p := &PHI{r: r, BufferEntries: 64}
+	p.bufs = make([]*combineBuffer, len(r.Chunks))
+	for i := range p.bufs {
+		p.bufs[i] = &combineBuffer{pending: make(map[combineEntry]struct{})}
+	}
+	return p
+}
+
+// Name implements engine.System.
+func (ph *PHI) Name() string { return "PHI" }
+
+// Runtime implements engine.System.
+func (ph *PHI) Runtime() *engine.Runtime { return ph.r }
+
+// bufferUpdate records a state (or delta) update into core ci's combining
+// buffer; a second update to a buffered entry coalesces (one memory write
+// saved). A full buffer drains completely.
+func (ph *PHI) bufferUpdate(ci int, v graph.VertexID, delta bool, p sim.Port) {
+	b := ph.bufs[ci]
+	e := combineEntry{v: v, delta: delta}
+	if _, ok := b.pending[e]; ok {
+		ph.r.C.Inc(stats.CtrEventsCoalesced)
+		return
+	}
+	if len(b.order) >= ph.BufferEntries {
+		ph.drain(ci, p)
+	}
+	b.pending[e] = struct{}{}
+	b.order = append(b.order, e)
+}
+
+// drain writes every merged update out to memory.
+func (ph *PHI) drain(ci int, p sim.Port) {
+	b := ph.bufs[ci]
+	for _, e := range b.order {
+		if ph.r.M != nil {
+			if e.delta {
+				p.Write(ph.r.DeltaAddr(e.v), engine.DeltaBytes)
+			} else {
+				p.Write(ph.r.StateAddr(e.v), engine.StateBytes)
+			}
+		}
+	}
+	b.order = b.order[:0]
+	b.pending = make(map[combineEntry]struct{})
+}
+
+// Process implements engine.System.
+func (ph *PHI) Process(res graph.ApplyResult) {
+	r := ph.r
+	r.Repair(res)
+	for r.HasActive() {
+		r.C.Inc(stats.CtrIterations)
+		frontiers := make([][]graph.VertexID, len(r.Chunks))
+		for ci := range r.Chunks {
+			frontiers[ci] = r.TakeActive(ci)
+		}
+		for ci, frontier := range frontiers {
+			p := r.Ports[ci]
+			p.SetPhase(sim.PhasePropagate)
+			for _, v := range frontier {
+				ph.processVertex(ci, v, p)
+			}
+			ph.drain(ci, p)
+		}
+		if r.M != nil {
+			r.M.Barrier()
+		}
+	}
+	r.FinishMetrics()
+	if r.M != nil {
+		r.M.Finish()
+	}
+}
+
+func (ph *PHI) processVertex(ci int, v graph.VertexID, p sim.Port) {
+	r := ph.r
+	r.C.Inc(stats.CtrVerticesProcessed)
+	p.Compute(2)
+	if r.M != nil {
+		p.Read(r.L.ActiveAddr(v), 1)
+	}
+	r.ReadOffsets(v, p, true)
+	if r.Mono != nil {
+		sv := r.ReadState(v, p, true)
+		base := r.G.Offsets[v]
+		ns := r.G.OutNeighbors(v)
+		ws := r.G.OutWeights(v)
+		for i, w := range ns {
+			r.C.Inc(stats.CtrEdgesProcessed)
+			r.CountUpdateOp()
+			r.ReadEdge(base+uint64(i), p, true)
+			p.Compute(3)
+			cand := r.Mono.Propagate(sv, ws[i])
+			sw := r.ReadState(w, p, true)
+			r.C.Inc(stats.CtrPropagationVisits)
+			if r.Mono.Better(cand, sw) {
+				// The update enters the combining buffer; the merged
+				// result reaches memory on drain.
+				r.WriteStateQuiet(w, cand)
+				ph.bufferUpdate(ci, w, false, p)
+				r.WriteParent(w, int32(v), p, true)
+				r.Activate(w, p)
+			}
+		}
+		return
+	}
+	if r.M != nil {
+		p.Read(r.DeltaAddr(v), engine.DeltaBytes)
+	}
+	dv := r.Delta[v]
+	r.Delta[v] = 0
+	eps := r.Acc.Epsilon()
+	if dv < eps && dv > -eps {
+		return
+	}
+	sv := r.ReadState(v, p, true)
+	r.WriteStateQuiet(v, sv+dv)
+	ph.bufferUpdate(ci, v, false, p)
+	deg := r.G.OutDegree(v)
+	if deg == 0 {
+		return
+	}
+	d := r.Acc.Damping()
+	tw := r.TotalOutWeightOf(v)
+	base := r.G.Offsets[v]
+	ns := r.G.OutNeighbors(v)
+	ws := r.G.OutWeights(v)
+	for i, w := range ns {
+		r.C.Inc(stats.CtrEdgesProcessed)
+		r.CountUpdateOp()
+		r.ReadEdge(base+uint64(i), p, true)
+		p.Compute(3)
+		contrib := d * dv * r.Acc.Share(ws[i], deg, tw)
+		if contrib == 0 {
+			continue
+		}
+		r.C.Inc(stats.CtrPropagationVisits)
+		// Delta scatters also combine in the buffer (commutative sum).
+		r.Delta[w] += contrib
+		ph.bufferUpdate(ci, w, true, p)
+		r.Activate(w, p)
+	}
+}

@@ -1,0 +1,88 @@
+package algo
+
+import (
+	"math/rand"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// PageRank is the incremental PageRank of JetStream [44]: the fixpoint
+//
+//	r[v] = (1-d) + d · Σ_{u→v} r[u] / outdeg(u)
+//
+// maintained by propagating signed rank deltas when edges are added or
+// deleted.
+type PageRank struct {
+	Damp float64
+	Eps  float64
+}
+
+// NewPageRank returns PageRank with the conventional damping factor 0.85.
+func NewPageRank() *PageRank { return &PageRank{Damp: 0.85, Eps: 1e-7} }
+
+func (a *PageRank) Name() string     { return "pagerank" }
+func (a *PageRank) Kind() Kind       { return Accumulative }
+func (a *PageRank) Epsilon() float64 { return a.Eps }
+
+// Base is the teleport mass.
+func (a *PageRank) Base(graph.VertexID) float64 { return 1 - a.Damp }
+
+// Damping returns d.
+func (a *PageRank) Damping() float64 { return a.Damp }
+
+// Share splits mass uniformly over out-edges.
+func (a *PageRank) Share(_ float32, outDeg int, _ float64) float64 {
+	if outDeg == 0 {
+		return 0
+	}
+	return 1 / float64(outDeg)
+}
+
+// Adsorption is the label-propagation algorithm of [44]: every vertex
+// injects a prior label mass and continues a damped, edge-weight-
+// proportional share of its accumulated mass to its out-neighbours:
+//
+//	s[v] = p_inj · I[v] + p_cont · Σ_{u→v} (w_uv / W_u) · s[u]
+//
+// where W_u is u's total out-weight. Injection priors are assigned from a
+// seeded uniform source so runs are deterministic.
+type Adsorption struct {
+	PInj  float64
+	PCont float64
+	Eps   float64
+	inj   []float64
+}
+
+// NewAdsorption builds the algorithm for a graph of numVertices vertices,
+// drawing injection priors in [0,1) from the seed.
+func NewAdsorption(numVertices int, seed int64) *Adsorption {
+	rng := rand.New(rand.NewSource(seed))
+	inj := make([]float64, numVertices)
+	for i := range inj {
+		inj[i] = rng.Float64()
+	}
+	return &Adsorption{PInj: 0.15, PCont: 0.85, Eps: 1e-7, inj: inj}
+}
+
+func (a *Adsorption) Name() string     { return "adsorption" }
+func (a *Adsorption) Kind() Kind       { return Accumulative }
+func (a *Adsorption) Epsilon() float64 { return a.Eps }
+
+// Base is the injected prior mass of v.
+func (a *Adsorption) Base(v graph.VertexID) float64 {
+	if int(v) >= len(a.inj) {
+		return 0
+	}
+	return a.PInj * a.inj[v]
+}
+
+// Damping returns the continuation probability.
+func (a *Adsorption) Damping() float64 { return a.PCont }
+
+// Share is proportional to the edge weight.
+func (a *Adsorption) Share(w float32, _ int, totalOutWeight float64) float64 {
+	if totalOutWeight == 0 {
+		return 0
+	}
+	return float64(w) / totalOutWeight
+}

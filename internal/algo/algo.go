@@ -1,0 +1,107 @@
+// Package algo defines the algorithm API shared by every engine in this
+// repository and implements the paper's four benchmarks: Incremental
+// PageRank and Adsorption (accumulative update operation) and SSSP and
+// Connected Components (monotonic selection operation), plus a pure
+// reference oracle used by the correctness tests.
+//
+// The split into Monotonic and Accumulative mirrors §2.1 of the paper:
+// the two families need different incremental repair steps (tag/reset/
+// re-gather for monotonic deletions; contribution cancelling for
+// accumulative updates), so engines dispatch on the family.
+package algo
+
+import (
+	"math"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// Kind distinguishes the two algorithm families of §2.1.
+type Kind int
+
+const (
+	// Accumulative algorithms update states with a commutative
+	// accumulation (e.g. sum) — Incremental PageRank, Adsorption.
+	Accumulative Kind = iota
+	// Monotonic algorithms update states with a selection (min/max) —
+	// SSSP, CC.
+	Monotonic
+)
+
+func (k Kind) String() string {
+	if k == Accumulative {
+		return "accumulative"
+	}
+	return "monotonic"
+}
+
+// Algorithm is the common surface. Concrete algorithms additionally
+// implement MonotonicAlgo or AccumulativeAlgo.
+type Algorithm interface {
+	Name() string
+	Kind() Kind
+	// Epsilon is the convergence threshold: monotonic algorithms use it
+	// for float comparisons, accumulative ones stop propagating deltas
+	// smaller than it.
+	Epsilon() float64
+}
+
+// MonotonicAlgo is the selection-operation family. States start at
+// InitialValue and only ever improve (per Better) as contributions
+// propagate, which is what makes trimmed incremental repair sound.
+type MonotonicAlgo interface {
+	Algorithm
+	// InitialValue is the state of v with no incoming contribution
+	// (+inf for SSSP except the root; v's own ID for CC).
+	InitialValue(v graph.VertexID) float64
+	// Propagate maps the source state across an edge of weight w.
+	Propagate(srcVal float64, w float32) float64
+	// Better reports whether a strictly improves on b.
+	Better(a, b float64) bool
+}
+
+// AccumulativeAlgo is the accumulation-operation family. The fixpoint is
+//
+//	s[v] = Base(v) + Damping · Σ_{u→v} Share(u→v) · s[u]
+//
+// and incremental repair propagates signed deltas.
+type AccumulativeAlgo interface {
+	Algorithm
+	// Base is v's source term (teleport mass for PageRank, label
+	// injection for Adsorption).
+	Base(v graph.VertexID) float64
+	// Damping scales every propagated contribution; must be < 1 for the
+	// delta propagation to converge.
+	Damping() float64
+	// Share returns the fraction of u's damped mass carried by one
+	// out-edge of weight w, given u's out-degree and total out-weight.
+	Share(w float32, outDeg int, totalOutWeight float64) float64
+}
+
+// TotalOutWeight sums the out-edge weights of v; accumulative algorithms
+// with weighted shares (Adsorption) normalise by it.
+func TotalOutWeight(g *graph.Snapshot, v graph.VertexID) float64 {
+	var t float64
+	for _, w := range g.OutWeights(v) {
+		t += float64(w)
+	}
+	return t
+}
+
+// StatesEqual compares two state vectors within tol, treating +inf as
+// equal to +inf. It returns the index of the first mismatch, or -1.
+func StatesEqual(a, b []float64, tol float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		ai, bi := a[i], b[i]
+		if math.IsInf(ai, 1) && math.IsInf(bi, 1) {
+			continue
+		}
+		if math.Abs(ai-bi) > tol {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,73 @@
+package algo
+
+import (
+	"math"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// BFS computes hop counts from Root — SSSP over unit weights. It is not
+// one of the paper's benchmarks but is the canonical smoke-test workload
+// for traversal engines, so the library ships it.
+type BFS struct {
+	Root graph.VertexID
+}
+
+// NewBFS returns breadth-first hop counting from root.
+func NewBFS(root graph.VertexID) *BFS { return &BFS{Root: root} }
+
+func (a *BFS) Name() string     { return "bfs" }
+func (a *BFS) Kind() Kind       { return Monotonic }
+func (a *BFS) Epsilon() float64 { return 0 }
+
+// InitialValue is 0 at the root and +inf elsewhere.
+func (a *BFS) InitialValue(v graph.VertexID) float64 {
+	if v == a.Root {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Propagate counts one hop, ignoring edge weights.
+func (a *BFS) Propagate(srcVal float64, _ float32) float64 {
+	if math.IsInf(srcVal, 1) {
+		return srcVal
+	}
+	return srcVal + 1
+}
+
+// Better prefers fewer hops.
+func (a *BFS) Better(x, y float64) bool { return x < y }
+
+// SSWP is single-source widest path: s[v] is the best achievable
+// bottleneck capacity from Root to v (maximise the minimum edge weight
+// along the path). It is the classic max-selection monotonic algorithm —
+// the mirror image of SSSP — and exercises engines whose tests would
+// otherwise only ever see min-selection.
+type SSWP struct {
+	Root graph.VertexID
+}
+
+// NewSSWP returns widest-path from root.
+func NewSSWP(root graph.VertexID) *SSWP { return &SSWP{Root: root} }
+
+func (a *SSWP) Name() string     { return "sswp" }
+func (a *SSWP) Kind() Kind       { return Monotonic }
+func (a *SSWP) Epsilon() float64 { return 0 }
+
+// InitialValue is +inf capacity at the root (no constraining edge yet)
+// and 0 (unreachable) elsewhere.
+func (a *SSWP) InitialValue(v graph.VertexID) float64 {
+	if v == a.Root {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Propagate constrains the path's bottleneck by the edge capacity.
+func (a *SSWP) Propagate(srcVal float64, w float32) float64 {
+	return math.Min(srcVal, float64(w))
+}
+
+// Better prefers wider bottlenecks.
+func (a *SSWP) Better(x, y float64) bool { return x > y }

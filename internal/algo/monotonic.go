@@ -1,0 +1,69 @@
+package algo
+
+import (
+	"math"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// SSSP is single-source shortest paths from Root, the paper's primary
+// monotonic benchmark [61]. States are path lengths; unreachable vertices
+// hold +inf.
+type SSSP struct {
+	Root graph.VertexID
+	Eps  float64
+}
+
+// NewSSSP returns SSSP from root with the default epsilon.
+func NewSSSP(root graph.VertexID) *SSSP {
+	return &SSSP{Root: root, Eps: 1e-9}
+}
+
+func (a *SSSP) Name() string     { return "sssp" }
+func (a *SSSP) Kind() Kind       { return Monotonic }
+func (a *SSSP) Epsilon() float64 { return a.Eps }
+
+// InitialValue is 0 at the root and +inf elsewhere.
+func (a *SSSP) InitialValue(v graph.VertexID) float64 {
+	if v == a.Root {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Propagate extends a path across an edge.
+func (a *SSSP) Propagate(srcVal float64, w float32) float64 {
+	if math.IsInf(srcVal, 1) {
+		return srcVal
+	}
+	return srcVal + float64(w)
+}
+
+// Better prefers shorter paths.
+func (a *SSSP) Better(x, y float64) bool { return x < y-a.Eps }
+
+// CC computes, for every vertex, the minimum vertex ID among its ancestors
+// (including itself) — forward min-label propagation, the monotonic
+// formulation used by KickStarter [61]. On a symmetrised edge list this is
+// exactly weakly-connected component labelling; on a directed graph it is
+// "least ID that can reach v". The examples symmetrise when they want
+// undirected components.
+type CC struct {
+	Eps float64
+}
+
+// NewCC returns the connected-components labelling algorithm.
+func NewCC() *CC { return &CC{Eps: 0} }
+
+func (a *CC) Name() string     { return "cc" }
+func (a *CC) Kind() Kind       { return Monotonic }
+func (a *CC) Epsilon() float64 { return a.Eps }
+
+// InitialValue labels each vertex with its own ID.
+func (a *CC) InitialValue(v graph.VertexID) float64 { return float64(v) }
+
+// Propagate carries the label unchanged across the edge.
+func (a *CC) Propagate(srcVal float64, _ float32) float64 { return srcVal }
+
+// Better prefers smaller labels.
+func (a *CC) Better(x, y float64) bool { return x < y }

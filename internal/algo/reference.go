@@ -1,0 +1,165 @@
+package algo
+
+import (
+	"fmt"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// Reference computes the algorithm's fixpoint on a snapshot from scratch,
+// with no simulation plumbing. It is the oracle every engine (software
+// baselines, TDGraph variants, accelerator models) is tested against: an
+// incremental engine is correct iff, after a batch, its states equal
+// Reference on the post-batch snapshot.
+func Reference(a Algorithm, g *graph.Snapshot) []float64 {
+	switch alg := a.(type) {
+	case MonotonicAlgo:
+		return referenceMonotonic(alg, g)
+	case AccumulativeAlgo:
+		return referenceAccumulative(alg, g)
+	default:
+		panic(fmt.Sprintf("algo: %s implements neither MonotonicAlgo nor AccumulativeAlgo", a.Name()))
+	}
+}
+
+// ReferenceWithParents computes the monotonic fixpoint together with a
+// dependency forest: Parent[v] is the in-neighbour whose propagation
+// produced v's final value (or -1 for self-supported vertices). Because
+// parents are recorded at improvement time, a parent's final improvement
+// always precedes its child's, so the forest is acyclic — even for
+// algorithms where many vertices share equal values (CC labels, SSWP
+// bottlenecks), where reconstructing parents by value-matching could
+// fabricate mutual-support cycles and make deletion trimming unsound.
+func ReferenceWithParents(a MonotonicAlgo, g *graph.Snapshot) ([]float64, []int32) {
+	n := g.NumVertices
+	s := make([]float64, n)
+	parent := make([]int32, n)
+	inQueue := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		s[v] = a.InitialValue(graph.VertexID(v))
+		parent[v] = -1
+		queue = append(queue, graph.VertexID(v))
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		ns := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, nbr := range ns {
+			cand := a.Propagate(s[v], ws[i])
+			if a.Better(cand, s[nbr]) {
+				s[nbr] = cand
+				parent[nbr] = int32(v)
+				if !inQueue[nbr] {
+					inQueue[nbr] = true
+					queue = append(queue, nbr)
+				}
+			}
+		}
+	}
+	return s, parent
+}
+
+// referenceMonotonic runs worklist selection propagation (Bellman-Ford
+// style) to the fixpoint.
+func referenceMonotonic(a MonotonicAlgo, g *graph.Snapshot) []float64 {
+	n := g.NumVertices
+	s := make([]float64, n)
+	inQueue := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		s[v] = a.InitialValue(graph.VertexID(v))
+		queue = append(queue, graph.VertexID(v))
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		ns := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, nbr := range ns {
+			cand := a.Propagate(s[v], ws[i])
+			if a.Better(cand, s[nbr]) {
+				s[nbr] = cand
+				if !inQueue[nbr] {
+					inQueue[nbr] = true
+					queue = append(queue, nbr)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// referenceAccumulative runs delta push propagation from the base values
+// to the fixpoint s[v] = Base(v) + d·Σ Share·s[u].
+func referenceAccumulative(a AccumulativeAlgo, g *graph.Snapshot) []float64 {
+	n := g.NumVertices
+	s := make([]float64, n)
+	delta := make([]float64, n)
+	inQueue := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		b := a.Base(graph.VertexID(v))
+		s[v] = b
+		delta[v] = b
+		if b != 0 {
+			queue = append(queue, graph.VertexID(v))
+			inQueue[v] = true
+		}
+	}
+	eps := a.Epsilon()
+	d := a.Damping()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		dv := delta[v]
+		delta[v] = 0
+		if dv < eps && dv > -eps {
+			continue
+		}
+		deg := g.OutDegree(v)
+		if deg == 0 {
+			continue
+		}
+		tw := TotalOutWeight(g, v)
+		ns := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, nbr := range ns {
+			contrib := d * dv * a.Share(ws[i], deg, tw)
+			if contrib == 0 {
+				continue
+			}
+			s[nbr] += contrib
+			delta[nbr] += contrib
+			if !inQueue[nbr] {
+				inQueue[nbr] = true
+				queue = append(queue, nbr)
+			}
+		}
+	}
+	return s
+}
+
+// InitialStates returns the pre-propagation state vector for a snapshot
+// (every engine starts its very first fixpoint from these values).
+func InitialStates(a Algorithm, g *graph.Snapshot) []float64 {
+	n := g.NumVertices
+	s := make([]float64, n)
+	switch alg := a.(type) {
+	case MonotonicAlgo:
+		for v := 0; v < n; v++ {
+			s[v] = alg.InitialValue(graph.VertexID(v))
+		}
+	case AccumulativeAlgo:
+		for v := 0; v < n; v++ {
+			s[v] = alg.Base(graph.VertexID(v))
+		}
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Header:  []string{"a", "bb"},
+		Comment: "note",
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "333", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"x", "y"}}
+	tb.AddRow("1", "two,with comma")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"two,with comma"`) {
+		t.Fatalf("CSV quoting missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x,y") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Fatalf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: the TDGraph engine —
+// a per-core Topology-Driven Traversing Unit (TDTU) that tracks how many
+// propagations originating from update-affected vertices pass through
+// each vertex (Topology_List) and then prefetches and processes the
+// affected region depth-first with propagation synchronisation, plus a
+// Vertex States Coalescing Unit (VSCU) that consolidates the states of
+// the most frequently accessed vertices into the dense Coalesced_States
+// array indexed by H_Table.
+//
+// The same algorithmic skeleton serves both evaluated variants:
+// TDGraph-S models the software-only implementation (every tracking,
+// traversal, and indexing step costs core instructions and stalled
+// memory accesses — §3.1's "Runtime Overhead") and TDGraph-H models the
+// hardware engine (graph data moves via non-stalling engine prefetches
+// and the bookkeeping runs in the TDTU/VSCU pipelines).
+package core
+
+// Config selects a TDGraph variant and its hardware parameters.
+type Config struct {
+	// Hardware selects TDGraph-H (true) or TDGraph-S (false).
+	Hardware bool
+	// EnableVSCU enables vertex-state coalescing; TDGraph-H-without
+	// (Fig 13) sets it false.
+	EnableVSCU bool
+	// StackDepth bounds the TDTU's hardware DFS stack (paper default
+	// 10; Fig 21 sweeps it).
+	StackDepth int
+	// Alpha is the hot-vertex fraction for VSCU (paper default 0.5%;
+	// Fig 22 sweeps it).
+	Alpha float64
+	// FetchedBufferEntries sizes the TDTU→core FIFO (paper: 4.8 Kbit
+	// ≈ 37 edge records).
+	FetchedBufferEntries int
+	// DisableSync is the ablation knob for the two-phase design
+	// (DESIGN.md decision 1): it skips topology tracking so traversal
+	// descends eagerly on every improvement, with no propagation
+	// merging. This is also the behavioural base of the DepGraph
+	// accelerator model in internal/accel.
+	DisableSync bool
+}
+
+// DefaultConfig returns the paper's default TDGraph-H configuration.
+func DefaultConfig() Config {
+	return Config{
+		Hardware:             true,
+		EnableVSCU:           true,
+		StackDepth:           10,
+		Alpha:                0.005,
+		FetchedBufferEntries: 37,
+	}
+}
+
+// SoftwareConfig returns the TDGraph-S (software-only) configuration.
+func SoftwareConfig() Config {
+	c := DefaultConfig()
+	c.Hardware = false
+	return c
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.StackDepth <= 0 {
+		c.StackDepth = 10
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.005
+	}
+	if c.FetchedBufferEntries <= 0 {
+		c.FetchedBufferEntries = 37
+	}
+	return c
+}
+
+// VariantName renders the scheme name the way the paper's figures label
+// it.
+func (c Config) VariantName() string {
+	if c.DisableSync {
+		if c.EnableVSCU {
+			return "TDGraph-nosync"
+		}
+		return "TDGraph-nosync-without"
+	}
+	switch {
+	case c.Hardware && c.EnableVSCU:
+		return "TDGraph-H"
+	case c.Hardware:
+		return "TDGraph-H-without"
+	case c.EnableVSCU:
+		return "TDGraph-S"
+	default:
+		return "TDGraph-S-without"
+	}
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+)
+
+// TestTDGraphExtraAlgorithms checks the topology-driven engine on the
+// non-paper algorithms, including max-selection monotonicity (SSWP).
+func TestTDGraphExtraAlgorithms(t *testing.T) {
+	for _, algoName := range []string{"bfs", "sswp"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", algoName, seed), func(t *testing.T) {
+				c, err := enginetest.Make(algoName, enginetest.DefaultConfig(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys := core.New(core.DefaultConfig(), c.NewRuntime(engine.Options{Cores: 4}))
+				sys.Process(c.Res)
+				if err := c.Verify(sys); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+)
+
+// TestSimulationDoesNotChangeResults: the machine is a pure observer —
+// running the same engine with and without the simulator attached must
+// produce bit-identical states.
+func TestSimulationDoesNotChangeResults(t *testing.T) {
+	for _, algoName := range []string{"sssp", "pagerank"} {
+		t.Run(algoName, func(t *testing.T) {
+			run := func(withMachine bool) []float64 {
+				c, err := enginetest.Make(algoName, enginetest.Config{
+					Vertices: 1200, Degree: 5, BatchSize: 150, AddFraction: 0.6, Seed: 77,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := engine.Options{Cores: 4}
+				if withMachine {
+					cfg := sim.ScaledConfig()
+					cfg.Cores = 4
+					opt.Machine = sim.New(cfg)
+					opt.Layout = engine.LayoutOptions{TDGraph: true, Alpha: 0.005}
+				}
+				sys := core.New(core.DefaultConfig(), c.NewRuntime(opt))
+				sys.Process(c.Res)
+				if err := c.Verify(sys); err != nil {
+					t.Fatal(err)
+				}
+				return sys.Runtime().S
+			}
+			plain := run(false)
+			simulated := run(true)
+			if i := algo.StatesEqual(plain, simulated, 0); i >= 0 {
+				t.Fatalf("simulator changed the result at vertex %d", i)
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// TestVSCUHotSelection checks that the VSCU identifies a bounded hot set
+// and assigns coalesced slots within capacity.
+func TestVSCUHotSelection(t *testing.T) {
+	c, err := enginetest.Make("pagerank", enginetest.Config{
+		Vertices: 4000, Degree: 8, BatchSize: 400, AddFraction: 0.6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Alpha = 0.01
+	rt := c.NewRuntime(engine.Options{Cores: 4})
+	td := core.New(cfg, rt)
+	td.Process(c.Res)
+	if err := c.Verify(td); err != nil {
+		t.Fatal(err)
+	}
+	v := td.VSCU()
+	if v == nil {
+		t.Fatal("VSCU missing")
+	}
+	capacity := int(0.01*4000) + 1
+	if v.SlotCount() > capacity {
+		t.Fatalf("assigned %d slots, capacity %d", v.SlotCount(), capacity)
+	}
+	if v.HotCount() == 0 {
+		t.Fatal("no hot vertices identified")
+	}
+}
+
+// TestVSCUAddressesDiverge: hot vertices must resolve into the coalesced
+// region once touched; cold vertices stay in Vertex_States_Array.
+func TestVSCUAddressesDiverge(t *testing.T) {
+	c, err := enginetest.Make("sssp", enginetest.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := sim.DefaultConfig()
+	scfg.Cores = 4
+	m := sim.New(scfg)
+	col := stats.NewCollector()
+	rt := c.NewRuntime(engine.Options{
+		Machine: m, Cores: 4, Collector: col,
+		Layout: engine.LayoutOptions{TDGraph: true, Alpha: 0.01},
+	})
+	td := core.New(core.DefaultConfig(), rt)
+	td.Process(c.Res)
+	if err := c.Verify(td); err != nil {
+		t.Fatal(err)
+	}
+	v := td.VSCU()
+	divergent := 0
+	for vid := 0; vid < c.NewG.NumVertices; vid++ {
+		addr := rt.StateAddr(uint32(vid))
+		if rt.L.Coalesced.Contains(addr) {
+			divergent++
+		} else if !rt.L.States.Contains(addr) {
+			t.Fatalf("vertex %d state addr %#x in neither region", vid, addr)
+		}
+	}
+	if divergent != v.SlotCount() {
+		t.Fatalf("coalesced addresses %d != assigned slots %d", divergent, v.SlotCount())
+	}
+}
+
+// TestTopoCountsNonNegative: the Topology_List must never go negative
+// (drains floor at zero) — property over seeds.
+func TestTopoCountsNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := enginetest.Make("sssp", enginetest.DefaultConfig(seed))
+		if err != nil {
+			return false
+		}
+		rt := c.NewRuntime(engine.Options{Cores: 4})
+		td := core.New(core.DefaultConfig(), rt)
+		td.Process(c.Res)
+		for _, x := range td.Topo() {
+			if x < 0 {
+				return false
+			}
+		}
+		return algo.StatesEqual(rt.S, algo.Reference(c.Algo, c.NewG), 1e-9) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVariantNames covers the naming matrix used by the harness.
+func TestVariantNames(t *testing.T) {
+	cases := map[string]core.Config{
+		"TDGraph-H":         {Hardware: true, EnableVSCU: true},
+		"TDGraph-H-without": {Hardware: true},
+		"TDGraph-S":         {EnableVSCU: true},
+		"TDGraph-S-without": {},
+		"TDGraph-nosync":    {Hardware: true, EnableVSCU: true, DisableSync: true},
+	}
+	for want, cfg := range cases {
+		if got := cfg.VariantName(); got != want {
+			t.Fatalf("VariantName() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestHardwareIsFasterThanSoftware: on the simulated machine, TDGraph-H
+// must beat TDGraph-S (the whole point of the codesign — §3.1's runtime
+// overhead argument).
+func TestHardwareIsFasterThanSoftware(t *testing.T) {
+	run := func(hw bool) float64 {
+		c, err := enginetest.Make("pagerank", enginetest.Config{
+			Vertices: 3000, Degree: 8, BatchSize: 300, AddFraction: 0.6, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := sim.ScaledConfig()
+		scfg.Cores = 8
+		m := sim.New(scfg)
+		rt := c.NewRuntime(engine.Options{
+			Machine: m, Cores: 8,
+			Layout: engine.LayoutOptions{TDGraph: true, Alpha: 0.005},
+		})
+		cfg := core.DefaultConfig()
+		cfg.Hardware = hw
+		td := core.New(cfg, rt)
+		td.Process(c.Res)
+		if err := c.Verify(td); err != nil {
+			t.Fatal(err)
+		}
+		return m.Time()
+	}
+	hw := run(true)
+	sw := run(false)
+	if hw >= sw {
+		t.Fatalf("TDGraph-H (%.0f cycles) not faster than TDGraph-S (%.0f)", hw, sw)
+	}
+}

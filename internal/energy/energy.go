@@ -1,0 +1,126 @@
+// Package energy provides the analytic power/area/energy model standing
+// in for the paper's McPAT + DDR4-power-calculator methodology (§4.4).
+// Dynamic energy is event counts × per-event energies; static energy is
+// leakage power × simulated time. Accelerator power and area are carried
+// as constants from the paper's Table 3 (they come from RTL synthesis,
+// which this repository cannot reproduce — see DESIGN.md).
+package energy
+
+import (
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// PerEventPJ holds per-event dynamic energies in picojoules, loosely
+// calibrated to published 14-22 nm figures: SRAM accesses grow with
+// array size, a DRAM line transfer costs on the order of 10 nJ, and a
+// mesh flit-hop a fraction of a nanojoule.
+type PerEventPJ struct {
+	CoreOp    float64
+	L1Access  float64
+	L2Access  float64
+	LLCAccess float64
+	DRAMLine  float64
+	NoCFlit   float64
+	AccelOp   float64
+}
+
+// DefaultPerEvent returns the calibrated event energies.
+func DefaultPerEvent() PerEventPJ {
+	return PerEventPJ{
+		CoreOp:    12,
+		L1Access:  1.2,
+		L2Access:  6.5,
+		LLCAccess: 22,
+		DRAMLine:  10500,
+		NoCFlit:   260,
+		AccelOp:   2.5,
+	}
+}
+
+// StaticPowerW holds leakage/background power in watts for the whole
+// 64-core chip and the memory subsystem.
+type StaticPowerW struct {
+	Cores  float64
+	Caches float64
+	DRAM   float64
+}
+
+// DefaultStatic returns chip-level static power consistent with a ~190 W
+// TDP socket (Table 3's %TDP column implies TDP ≈ 0.647 W / 0.0034).
+func DefaultStatic() StaticPowerW {
+	return StaticPowerW{Cores: 38, Caches: 12, DRAM: 9}
+}
+
+// Breakdown is the Fig 19 energy decomposition in joules.
+type Breakdown struct {
+	Core  float64
+	Cache float64
+	NoC   float64
+	DRAM  float64
+	Accel float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.Core + b.Cache + b.NoC + b.DRAM + b.Accel }
+
+// Model evaluates energies from a collector filled by a simulated run.
+type Model struct {
+	Event  PerEventPJ
+	Static StaticPowerW
+	// ClockHz converts simulated cycles to seconds (Table 1: 2.5 GHz).
+	ClockHz float64
+	// AccelPowerW is the per-chip accelerator power (Table 3 per-core
+	// milliwatts × core count).
+	AccelPowerW float64
+}
+
+// NewModel returns the default model for the named accelerator (""
+// means no accelerator attached).
+func NewModel(accelName string) Model {
+	m := Model{
+		Event:   DefaultPerEvent(),
+		Static:  DefaultStatic(),
+		ClockHz: 2.5e9,
+	}
+	if row, ok := Table3Row(accelName); ok {
+		// Table 3 reports per-engine power; one engine per core.
+		m.AccelPowerW = row.PowerMW / 1000 * 64
+	}
+	return m
+}
+
+// Evaluate computes the energy breakdown of a run from its counters and
+// total simulated cycles.
+func (m Model) Evaluate(c *stats.Collector, cycles float64) Breakdown {
+	secs := cycles / m.ClockHz
+	pj := func(v uint64, e float64) float64 { return float64(v) * e * 1e-12 }
+	var b Breakdown
+	ops := c.Get(stats.CtrCyclesCompute) // compute cycles ≈ op count × CPI
+	b.Core = pj(ops, m.Event.CoreOp) + m.Static.Cores*secs
+	l1 := c.Get(stats.CtrL1Hits) + c.Get(stats.CtrL1Misses)
+	l2 := c.Get(stats.CtrL2Hits) + c.Get(stats.CtrL2Misses)
+	llc := c.Get(stats.CtrLLCHits) + c.Get(stats.CtrLLCMisses)
+	b.Cache = pj(l1, m.Event.L1Access) + pj(l2, m.Event.L2Access) +
+		pj(llc, m.Event.LLCAccess) + m.Static.Caches*secs
+	b.NoC = pj(c.Get(stats.CtrNoCFlits), m.Event.NoCFlit)
+	b.DRAM = pj(c.Get(stats.CtrDRAMReads)+c.Get(stats.CtrDRAMWrites), m.Event.DRAMLine) +
+		m.Static.DRAM*secs
+	accelEvents := c.Get(stats.CtrPrefetchedEdges) + c.Get(stats.CtrTrackingVisits) +
+		c.Get(stats.CtrHTableProbes) + c.Get(stats.CtrEventsEnqueued)
+	b.Accel = pj(accelEvents, m.Event.AccelOp) + m.AccelPowerW*secs
+	return b
+}
+
+// PerfPerWatt returns performance (1/seconds) per watt for a run.
+func (m Model) PerfPerWatt(c *stats.Collector, cycles float64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	secs := cycles / m.ClockHz
+	e := m.Evaluate(c, cycles).Total()
+	if e <= 0 {
+		return 0
+	}
+	watts := e / secs
+	return (1 / secs) / watts
+}

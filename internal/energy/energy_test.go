@@ -1,0 +1,67 @@
+package energy_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/energy"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+func TestTable3(t *testing.T) {
+	rows := energy.Table3()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	td, ok := energy.Table3Row("TDGraph")
+	if !ok || td.PowerMW != 647 || td.PercentCore != 0.73 {
+		t.Fatalf("TDGraph row wrong: %+v ok=%v", td, ok)
+	}
+	// Variant names normalise to the hardware row.
+	for _, n := range []string{"TDGraph-H", "TDGraph-H-without", "TDGraph-H-GRASP"} {
+		if r, ok := energy.Table3Row(n); !ok || r.Name != "TDGraph" {
+			t.Fatalf("variant %s not normalised", n)
+		}
+	}
+	if _, ok := energy.Table3Row("Ligra-o"); ok {
+		t.Fatal("software scheme found in Table 3")
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	m := energy.NewModel("TDGraph-H")
+	c := stats.NewCollector()
+	c.Add(stats.CtrCyclesCompute, 1_000_000)
+	c.Add(stats.CtrL1Hits, 500_000)
+	c.Add(stats.CtrL2Hits, 100_000)
+	c.Add(stats.CtrLLCHits, 50_000)
+	c.Add(stats.CtrDRAMReads, 10_000)
+	c.Add(stats.CtrNoCFlits, 30_000)
+	c.Add(stats.CtrPrefetchedEdges, 200_000)
+	b := m.Evaluate(c, 2_000_000)
+	if b.Core <= 0 || b.Cache <= 0 || b.NoC <= 0 || b.DRAM <= 0 || b.Accel <= 0 {
+		t.Fatalf("breakdown has non-positive component: %+v", b)
+	}
+	if b.Total() <= b.Core {
+		t.Fatal("total not a sum")
+	}
+	// More DRAM events must give more DRAM energy.
+	c.Add(stats.CtrDRAMReads, 1_000_000)
+	b2 := m.Evaluate(c, 2_000_000)
+	if b2.DRAM <= b.DRAM {
+		t.Fatal("DRAM energy not monotone in accesses")
+	}
+}
+
+func TestPerfPerWatt(t *testing.T) {
+	m := energy.NewModel("HATS")
+	c := stats.NewCollector()
+	c.Add(stats.CtrCyclesCompute, 1000)
+	fast := m.PerfPerWatt(c, 1_000_000)
+	slow := m.PerfPerWatt(c, 10_000_000)
+	if fast <= slow {
+		t.Fatalf("perf/W not decreasing with time: %v vs %v", fast, slow)
+	}
+	if m.PerfPerWatt(c, 0) != 0 {
+		t.Fatal("zero-cycle run should give 0")
+	}
+}

@@ -1,0 +1,51 @@
+package energy
+
+// Table3Entry is one row of the paper's Table 3: per-engine power and
+// area under typical operating conditions at a commercial 14 nm process.
+// These values come from the paper's RTL synthesis and are carried as
+// constants (see DESIGN.md substitutions).
+type Table3Entry struct {
+	Name       string
+	PowerMW    float64
+	PercentTDP float64
+	AreaMM2    float64
+	// PercentCore is the area relative to one general-purpose core.
+	PercentCore float64
+}
+
+// Table3 returns the paper's Table 3 rows in order.
+func Table3() []Table3Entry {
+	return []Table3Entry{
+		{Name: "HATS", PowerMW: 425, PercentTDP: 0.22, AreaMM2: 0.007, PercentCore: 0.38},
+		{Name: "Minnow", PowerMW: 849, PercentTDP: 0.43, AreaMM2: 0.017, PercentCore: 0.92},
+		{Name: "PHI", PowerMW: 493, PercentTDP: 0.25, AreaMM2: 0.008, PercentCore: 0.43},
+		{Name: "DepGraph", PowerMW: 562, PercentTDP: 0.29, AreaMM2: 0.011, PercentCore: 0.61},
+		{Name: "TDGraph", PowerMW: 647, PercentTDP: 0.34, AreaMM2: 0.013, PercentCore: 0.73},
+	}
+}
+
+// Table3Row returns the row for an accelerator name, normalising the
+// TDGraph variant names to their hardware row.
+func Table3Row(name string) (Table3Entry, bool) {
+	key := name
+	switch name {
+	case "TDGraph-H", "TDGraph-H-without", "TDGraph-H-GRASP":
+		key = "TDGraph"
+	case "JetStream", "JetStream-with", "GraphPulse":
+		// Not in Table 3; approximate with DepGraph-class power.
+		key = "DepGraph"
+	}
+	for _, e := range Table3() {
+		if e.Name == key {
+			return e, true
+		}
+	}
+	return Table3Entry{}, false
+}
+
+// TDGraphStorageBits documents the accelerator's on-chip storage (§4.4):
+// 4.8 Kbit Fetched Buffer plus 6.1 Kbit stack.
+const (
+	FetchedBufferBits = 4800
+	StackBits         = 6100
+)

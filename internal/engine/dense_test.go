@@ -1,0 +1,65 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// TestDenseIterationTriggers builds a deletion-saturated workload whose
+// reset region floods the frontier, forcing Ligra-o's direction
+// optimisation into the pull direction — and the result must still match
+// the oracle.
+func TestDenseIterationTriggers(t *testing.T) {
+	cfg := enginetest.Config{
+		Vertices: 2000, Degree: 5, BatchSize: 2500, AddFraction: 0.1, Seed: 8, Kind: "ws",
+	}
+	c, err := enginetest.Make("cc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector()
+	sys := engine.NewBaseline(engine.LigraO(), c.NewRuntime(engine.Options{Cores: 4, Collector: col}))
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	if col.Get(stats.CtrDenseIterations) == 0 {
+		t.Fatal("dense direction never triggered on a flooded frontier")
+	}
+}
+
+// TestDenseAndSparseAgree runs the same case with direction optimisation
+// on and off; both must reach the oracle fixpoint.
+func TestDenseAndSparseAgree(t *testing.T) {
+	cfg := enginetest.Config{
+		Vertices: 1500, Degree: 5, BatchSize: 1800, AddFraction: 0.2, Seed: 9, Kind: "ws",
+	}
+	for _, algoName := range []string{"sssp", "cc"} {
+		t.Run(algoName, func(t *testing.T) {
+			run := func(direction bool) []float64 {
+				c, err := enginetest.Make(algoName, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := engine.LigraO()
+				p.DirectionOptimizing = direction
+				sys := engine.NewBaseline(p, c.NewRuntime(engine.Options{Cores: 4}))
+				sys.Process(c.Res)
+				if err := c.Verify(sys); err != nil {
+					t.Fatal(err)
+				}
+				return sys.Runtime().S
+			}
+			a := run(true)
+			b := run(false)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("directions disagree at vertex %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+)
+
+// TestExtraAlgorithms runs the library's non-paper monotonic algorithms
+// (BFS hop counts and max-selection widest path) through the incremental
+// engines against the oracle — SSWP in particular exercises the Better
+// direction the paper's benchmarks never flip.
+func TestExtraAlgorithms(t *testing.T) {
+	for _, algoName := range []string{"bfs", "sswp"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", algoName, seed), func(t *testing.T) {
+				c, err := enginetest.Make(algoName, enginetest.DefaultConfig(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys := engine.NewBaseline(engine.LigraO(), c.NewRuntime(engine.Options{Cores: 4}))
+				sys.Process(c.Res)
+				if err := c.Verify(sys); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

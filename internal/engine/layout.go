@@ -1,0 +1,201 @@
+// Package engine provides the shared incremental-execution runtime (graph
+// layout in simulated memory, state/parent/delta vectors, batch repair,
+// activation tracking, and the paper's metrics) plus the four software
+// baseline systems modelled after Ligra-o, GraphBolt, KickStarter, and
+// DZiG. The TDGraph model (internal/core) and the accelerator baselines
+// (internal/accel) build on the same runtime so that every scheme touches
+// the same simulated bytes for the same logical work.
+package engine
+
+import (
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/sim"
+)
+
+// Element sizes in simulated memory, matching the paper's data layout:
+// 4-byte vertex states and neighbour IDs (§2.2), 8-byte CSR offsets.
+const (
+	StateBytes    = 4
+	VertexIDBytes = 4
+	WeightBytes   = 4
+	OffsetBytes   = 8
+	ParentBytes   = 4
+	DeltaBytes    = 4
+	TopoBytes     = 4
+	HTEntryBytes  = 8 // <vertex ID, vertex_offset>
+)
+
+// Layout holds the simulated base addresses of every in-memory structure
+// of §3.3.1. Engines compute byte addresses through its helpers so that
+// all schemes agree on what lives where.
+type Layout struct {
+	Offsets     sim.Region // Offset_Array
+	Neighbors   sim.Region // Neighbor_Array
+	Weights     sim.Region
+	States      sim.Region // Vertex_States_Array
+	InOffsets   sim.Region
+	InNeighbors sim.Region
+	InWeights   sim.Region
+	Active      sim.Region // Active_Vertices bitvector
+	Parent      sim.Region // monotonic dependency tree
+	Delta       sim.Region // accumulative pending deltas
+	Meta        sim.Region // per-engine metadata (GraphBolt history etc.)
+
+	// TDGraph-specific structures (allocated only when requested).
+	TopoList  sim.Region // Topology_List
+	Hot       sim.Region // Hot_Vertices bitvector
+	Coalesced sim.Region // Coalesced_States
+	HTable    sim.Region // H_Table
+}
+
+// LayoutOptions selects optional regions.
+type LayoutOptions struct {
+	// TDGraph allocates Topology_List, Hot_Vertices, Coalesced_States
+	// and H_Table sized for the given alpha.
+	TDGraph bool
+	Alpha   float64
+	// MetaBytesPerVertex sizes the per-engine metadata region
+	// (GraphBolt/DZiG dependency history).
+	MetaBytesPerVertex int
+}
+
+// NewLayout allocates all regions on the machine and registers
+// coherence/usefulness tracking: the vertex-state arrays are tracked for
+// the useful-fetch metric, and every mutable array is directory-coherent.
+func NewLayout(m *sim.Machine, g *graph.Snapshot, opt LayoutOptions) *Layout {
+	n := uint64(g.NumVertices)
+	e := uint64(g.NumEdges())
+	l := &Layout{
+		Offsets:   m.Alloc("offset_array", (n+1)*OffsetBytes),
+		Neighbors: m.Alloc("neighbor_array", maxU64(e, 1)*VertexIDBytes),
+		Weights:   m.Alloc("weight_array", maxU64(e, 1)*WeightBytes),
+		States:    m.Alloc("vertex_states_array", n*StateBytes),
+		Active:    m.Alloc("active_vertices", (n+7)/8),
+	}
+	if g.InOffsets != nil {
+		l.InOffsets = m.Alloc("in_offset_array", (n+1)*OffsetBytes)
+		l.InNeighbors = m.Alloc("in_neighbor_array", maxU64(e, 1)*VertexIDBytes)
+		l.InWeights = m.Alloc("in_weight_array", maxU64(e, 1)*WeightBytes)
+	}
+	l.Parent = m.Alloc("parent_array", n*ParentBytes)
+	l.Delta = m.Alloc("delta_array", n*DeltaBytes)
+	if opt.MetaBytesPerVertex > 0 {
+		l.Meta = m.Alloc("engine_meta", n*uint64(opt.MetaBytesPerVertex))
+	}
+	if opt.TDGraph {
+		alpha := opt.Alpha
+		if alpha <= 0 {
+			alpha = 0.005
+		}
+		hotCap := uint64(float64(n)*alpha) + 1
+		// H_Table sized at hot/0.75 entries (§3.3.1, σ=0.75).
+		htEntries := uint64(float64(hotCap)/0.75) + 1
+		l.TopoList = m.Alloc("topology_list", n*TopoBytes)
+		l.Hot = m.Alloc("hot_vertices", (n+7)/8)
+		l.Coalesced = m.Alloc("coalesced_states", hotCap*StateBytes)
+		l.HTable = m.Alloc("h_table", htEntries*HTEntryBytes)
+	}
+
+	// The useful-fetch metric covers vertex-state data wherever it
+	// lives (Vertex_States_Array and Coalesced_States).
+	m.TrackUseful(l.States)
+	if opt.TDGraph {
+		m.TrackUseful(l.Coalesced)
+	}
+	// Mutable, cross-core shared data is coherent.
+	for _, r := range []sim.Region{l.States, l.Active, l.Parent, l.Delta} {
+		m.MarkCoherent(r)
+	}
+	if opt.MetaBytesPerVertex > 0 {
+		m.MarkCoherent(l.Meta)
+	}
+	if opt.TDGraph {
+		m.MarkCoherent(l.TopoList)
+		m.MarkCoherent(l.Coalesced)
+		m.MarkCoherent(l.Hot)
+	}
+	return l
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StateAddr returns the simulated address of v's state in the
+// Vertex_States_Array (VSCU overrides this for hot vertices).
+func (l *Layout) StateAddr(v graph.VertexID) uint64 {
+	return l.States.Base + uint64(v)*StateBytes
+}
+
+// OffsetAddr returns the address of v's CSR offset entry.
+func (l *Layout) OffsetAddr(v graph.VertexID) uint64 {
+	return l.Offsets.Base + uint64(v)*OffsetBytes
+}
+
+// NeighborAddr returns the address of edge slot i in Neighbor_Array.
+func (l *Layout) NeighborAddr(i uint64) uint64 {
+	return l.Neighbors.Base + i*VertexIDBytes
+}
+
+// WeightAddr returns the address of edge slot i's weight.
+func (l *Layout) WeightAddr(i uint64) uint64 {
+	return l.Weights.Base + i*WeightBytes
+}
+
+// InOffsetAddr returns the address of v's CSC offset entry.
+func (l *Layout) InOffsetAddr(v graph.VertexID) uint64 {
+	return l.InOffsets.Base + uint64(v)*OffsetBytes
+}
+
+// InNeighborAddr returns the address of in-edge slot i.
+func (l *Layout) InNeighborAddr(i uint64) uint64 {
+	return l.InNeighbors.Base + i*VertexIDBytes
+}
+
+// InWeightAddr returns the address of in-edge slot i's weight.
+func (l *Layout) InWeightAddr(i uint64) uint64 {
+	return l.InWeights.Base + i*WeightBytes
+}
+
+// ActiveAddr returns the address of the Active_Vertices byte holding v.
+func (l *Layout) ActiveAddr(v graph.VertexID) uint64 {
+	return l.Active.Base + uint64(v)/8
+}
+
+// ParentAddr returns the address of v's dependency-tree entry.
+func (l *Layout) ParentAddr(v graph.VertexID) uint64 {
+	return l.Parent.Base + uint64(v)*ParentBytes
+}
+
+// DeltaAddr returns the address of v's pending-delta entry.
+func (l *Layout) DeltaAddr(v graph.VertexID) uint64 {
+	return l.Delta.Base + uint64(v)*DeltaBytes
+}
+
+// MetaAddr returns the address of v's engine-metadata record.
+func (l *Layout) MetaAddr(v graph.VertexID, bytesPerVertex int) uint64 {
+	return l.Meta.Base + uint64(v)*uint64(bytesPerVertex)
+}
+
+// TopoAddr returns the address of v's Topology_List counter.
+func (l *Layout) TopoAddr(v graph.VertexID) uint64 {
+	return l.TopoList.Base + uint64(v)*TopoBytes
+}
+
+// HotAddr returns the address of the Hot_Vertices byte holding v.
+func (l *Layout) HotAddr(v graph.VertexID) uint64 {
+	return l.Hot.Base + uint64(v)/8
+}
+
+// CoalescedAddr returns the address of coalesced slot i.
+func (l *Layout) CoalescedAddr(slot uint64) uint64 {
+	return l.Coalesced.Base + slot*StateBytes
+}
+
+// HTableAddr returns the address of hash-table entry i.
+func (l *Layout) HTableAddr(i uint64) uint64 {
+	return l.HTable.Base + i*HTEntryBytes
+}

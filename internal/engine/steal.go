@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// StealBalance redistributes a round's frontier across cores with a
+// work-stealing pass (§3.2.1: the software layer ensures load balancing
+// using the work-stealing strategy [12]): cores whose lists exceed the
+// average donate their tail entries to under-loaded cores, the way idle
+// deque thieves take from the top of a victim's deque. The returned
+// slices are indexed by the core that will process them; each steal
+// charges a small bookkeeping cost to the thief.
+//
+// Weighting uses out-degree (the processing cost of a frontier vertex is
+// its edge count), so one hub does not get "balanced" against a thousand
+// leaves by count alone.
+func (r *Runtime) StealBalance(frontiers [][]graph.VertexID) [][]graph.VertexID {
+	n := len(frontiers)
+	if n <= 1 {
+		return frontiers
+	}
+	weight := func(v graph.VertexID) int { return 1 + r.G.OutDegree(v) }
+	loads := make([]int, n)
+	total := 0
+	for i, f := range frontiers {
+		for _, v := range f {
+			loads[i] += weight(v)
+		}
+		total += loads[i]
+	}
+	if total == 0 {
+		return frontiers
+	}
+	target := total / n
+	// Donors shed down to ~target; thieves fill up to ~target. A small
+	// tolerance avoids churning single vertices around.
+	tol := target / 8
+	out := make([][]graph.VertexID, n)
+	for i := range out {
+		out[i] = frontiers[i]
+	}
+	thief := 0
+	for donor := 0; donor < n; donor++ {
+		for loads[donor] > target+tol {
+			// Find the next core with spare capacity.
+			for thief < n && loads[thief] >= target {
+				thief++
+			}
+			if thief >= n {
+				return out
+			}
+			l := out[donor]
+			if len(l) <= 1 {
+				break
+			}
+			v := l[len(l)-1]
+			out[donor] = l[:len(l)-1]
+			out[thief] = append(out[thief], v)
+			w := weight(v)
+			loads[donor] -= w
+			loads[thief] += w
+			r.C.Inc(stats.CtrWorkSteals)
+			// The thief pays the dequeue-coordination cost.
+			r.Ports[thief].Compute(2)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// TestStealBalanceRedistributes: a frontier concentrated on one core must
+// spread across the others while preserving the vertex multiset.
+func TestStealBalanceRedistributes(t *testing.T) {
+	c, err := enginetest.Make("sssp", enginetest.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector()
+	rt := c.NewRuntime(engine.Options{Cores: 4, Collector: col})
+	frontiers := make([][]graph.VertexID, 4)
+	for v := graph.VertexID(0); v < 200; v++ {
+		frontiers[0] = append(frontiers[0], v)
+	}
+	before := map[graph.VertexID]int{}
+	for _, f := range frontiers {
+		for _, v := range f {
+			before[v]++
+		}
+	}
+	out := rt.StealBalance(frontiers)
+	after := map[graph.VertexID]int{}
+	maxLen, minLen := 0, 1<<30
+	for _, f := range out {
+		if len(f) > maxLen {
+			maxLen = len(f)
+		}
+		if len(f) < minLen {
+			minLen = len(f)
+		}
+		for _, v := range f {
+			after[v]++
+		}
+	}
+	if len(before) != len(after) {
+		t.Fatal("steal lost or duplicated vertices")
+	}
+	for v, n := range before {
+		if after[v] != n {
+			t.Fatalf("vertex %d count changed: %d -> %d", v, n, after[v])
+		}
+	}
+	if minLen == 0 || maxLen == 200 {
+		t.Fatalf("no redistribution: min=%d max=%d", minLen, maxLen)
+	}
+	if col.Get(stats.CtrWorkSteals) == 0 {
+		t.Fatal("no steals counted")
+	}
+}
+
+// TestStealBalanceBalancedInput: an already balanced frontier must not
+// churn.
+func TestStealBalanceBalancedInput(t *testing.T) {
+	c, err := enginetest.Make("sssp", enginetest.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stats.NewCollector()
+	rt := c.NewRuntime(engine.Options{Cores: 4, Collector: col})
+	frontiers := make([][]graph.VertexID, 4)
+	for ci := 0; ci < 4; ci++ {
+		for k := 0; k < 50; k++ {
+			frontiers[ci] = append(frontiers[ci], graph.VertexID(ci*50+k))
+		}
+	}
+	rt.StealBalance(frontiers)
+	// Degree-weighted loads differ a little, so allow a few steals, but
+	// a balanced input must not trigger mass migration.
+	if col.Get(stats.CtrWorkSteals) > 100 {
+		t.Fatalf("balanced input churned %d steals", col.Get(stats.CtrWorkSteals))
+	}
+}
+
+// TestStealBalanceEmptyAndSingle covers the degenerate shapes.
+func TestStealBalanceEmptyAndSingle(t *testing.T) {
+	c, err := enginetest.Make("sssp", enginetest.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := c.NewRuntime(engine.Options{Cores: 1})
+	in := [][]graph.VertexID{{1, 2, 3}}
+	out := rt.StealBalance(in)
+	if len(out) != 1 || len(out[0]) != 3 {
+		t.Fatal("single-core input modified")
+	}
+	rt4 := c.NewRuntime(engine.Options{Cores: 4})
+	empty := make([][]graph.VertexID, 4)
+	out = rt4.StealBalance(empty)
+	for _, f := range out {
+		if len(f) != 0 {
+			t.Fatal("empty input grew")
+		}
+	}
+}

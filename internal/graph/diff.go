@@ -1,0 +1,59 @@
+package graph
+
+// Diff computes the update batch that transforms snapshot a into
+// snapshot b: deletions for edges only in a, additions for edges only in
+// b, and a delete+add pair for edges whose weight changed (the builder's
+// weight-update semantics). Both snapshots must share a vertex-ID space;
+// b may have more vertices. The result is deterministic (src-major,
+// dst-minor order).
+//
+// Diff lets users who receive periodic full snapshots — a common shape
+// for external data feeds — drive the incremental engines as if they had
+// a true update stream.
+func Diff(a, b *Snapshot) []Update {
+	var out []Update
+	maxV := a.NumVertices
+	if b.NumVertices > maxV {
+		maxV = b.NumVertices
+	}
+	for v := 0; v < maxV; v++ {
+		var an, bn []VertexID
+		var aw, bw []float32
+		if v < a.NumVertices {
+			an = a.OutNeighbors(VertexID(v))
+			aw = a.OutWeights(VertexID(v))
+		}
+		if v < b.NumVertices {
+			bn = b.OutNeighbors(VertexID(v))
+			bw = b.OutWeights(VertexID(v))
+		}
+		// Sorted-list merge.
+		i, j := 0, 0
+		for i < len(an) || j < len(bn) {
+			switch {
+			case j >= len(bn) || (i < len(an) && an[i] < bn[j]):
+				out = append(out, Update{
+					Edge:   Edge{Src: VertexID(v), Dst: an[i], Weight: aw[i]},
+					Delete: true,
+				})
+				i++
+			case i >= len(an) || bn[j] < an[i]:
+				out = append(out, Update{
+					Edge: Edge{Src: VertexID(v), Dst: bn[j], Weight: bw[j]},
+				})
+				j++
+			default: // same destination
+				if aw[i] != bw[j] {
+					// Weight change: a single add with the new weight;
+					// Builder.Apply records it as delete(old)+add(new).
+					out = append(out, Update{
+						Edge: Edge{Src: VertexID(v), Dst: bn[j], Weight: bw[j]},
+					})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return out
+}

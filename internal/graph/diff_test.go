@@ -1,0 +1,87 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+func TestDiffBasics(t *testing.T) {
+	a := graph.NewBuilder(4)
+	a.AddEdge(0, 1, 1)
+	a.AddEdge(0, 2, 2)
+	a.AddEdge(1, 2, 3)
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1) // unchanged
+	b.AddEdge(0, 2, 9) // weight change
+	b.AddEdge(2, 3, 4) // new
+	// 1→2 deleted
+	diff := graph.Diff(a.Snapshot(), b.Snapshot())
+	var adds, dels int
+	for _, u := range diff {
+		if u.Delete {
+			dels++
+		} else {
+			adds++
+		}
+	}
+	if adds != 2 || dels != 1 {
+		t.Fatalf("diff adds=%d dels=%d: %+v", adds, dels, diff)
+	}
+}
+
+// TestDiffApplyIsIdentity: applying Diff(a,b) to a must reproduce b
+// exactly, on random snapshot pairs.
+func TestDiffApplyIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		mk := func() *graph.Builder {
+			b := graph.NewBuilder(n)
+			for i := 0; i < 4*n; i++ {
+				b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), float32(1+rng.Intn(5)))
+			}
+			return b
+		}
+		a := mk().Snapshot()
+		bSnap := mk().Snapshot()
+		diff := graph.Diff(a, bSnap)
+		rebuilt := graph.NewBuilderFromEdges(n, a.EdgeList())
+		rebuilt.Apply(diff)
+		got := rebuilt.Snapshot().EdgeList()
+		want := bSnap.EdgeList()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffVertexGrowth(t *testing.T) {
+	a := graph.NewBuilder(2)
+	a.AddEdge(0, 1, 1)
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(3, 4, 2)
+	diff := graph.Diff(a.Snapshot(), b.Snapshot())
+	if len(diff) != 1 || diff[0].Delete || diff[0].Edge.Src != 3 {
+		t.Fatalf("diff = %+v", diff)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	s := buildSample(t)
+	if d := graph.Diff(s, s); len(d) != 0 {
+		t.Fatalf("self-diff nonempty: %+v", d)
+	}
+}

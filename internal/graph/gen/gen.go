@@ -1,0 +1,158 @@
+// Package gen provides seeded synthetic graph generators that substitute
+// for the paper's SNAP datasets (com-Amazon, com-DBLP, ego-Gplus,
+// LiveJournal, Orkut, Friendster). Real traces are not shipped with this
+// repository; the generators are parameterised so that each preset matches
+// its dataset's vertex count, average degree, and diameter *shape* at a
+// reduced, simulation-friendly scale. The two properties the paper's
+// observations rest on — power-law access skew and propagation-path
+// overlap — are preserved by the R-MAT skew parameters and the small-world
+// rewiring probability respectively.
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// RMATConfig parameterises a recursive-matrix (R-MAT) generator. The
+// classic (a,b,c,d) quadrant probabilities control the degree skew;
+// a≈0.57,b≈c≈0.19 reproduces social-network-like power laws.
+type RMATConfig struct {
+	NumVertices int // rounded up to a power of two internally
+	NumEdges    int
+	A, B, C     float64 // quadrant probabilities; D = 1-A-B-C
+	Seed        int64
+	// MaxWeight bounds the uniformly drawn integer edge weights
+	// [1, MaxWeight]; 0 means unweighted (all 1).
+	MaxWeight int
+}
+
+// RMAT generates a directed R-MAT edge list. Self-loops and duplicate
+// edges are dropped and retried a bounded number of times, so the exact
+// edge count can fall slightly short on extremely dense configurations.
+func RMAT(cfg RMATConfig) []graph.Edge {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	levels := 0
+	for 1<<levels < cfg.NumVertices {
+		levels++
+	}
+	d := 1 - cfg.A - cfg.B - cfg.C
+	_ = d
+	seen := make(map[uint64]struct{}, cfg.NumEdges)
+	edges := make([]graph.Edge, 0, cfg.NumEdges)
+	maxAttempts := cfg.NumEdges * 8
+	for attempts := 0; len(edges) < cfg.NumEdges && attempts < maxAttempts; attempts++ {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: neither bit set
+			case r < cfg.A+cfg.B:
+				dst |= 1 << l
+			case r < cfg.A+cfg.B+cfg.C:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= cfg.NumVertices || dst >= cfg.NumVertices || src == dst {
+			continue
+		}
+		key := uint64(src)<<32 | uint64(dst)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(src),
+			Dst:    graph.VertexID(dst),
+			Weight: drawWeight(rng, cfg.MaxWeight),
+		})
+	}
+	return edges
+}
+
+func drawWeight(rng *rand.Rand, maxWeight int) float32 {
+	if maxWeight <= 1 {
+		return 1
+	}
+	return float32(1 + rng.Intn(maxWeight))
+}
+
+// WattsStrogatzConfig parameterises a small-world generator: a ring
+// lattice with K out-neighbours per vertex and rewiring probability Beta.
+// Low Beta yields the long diameters of road/co-purchase networks
+// (com-Amazon's d=44 shape).
+type WattsStrogatzConfig struct {
+	NumVertices int
+	K           int // out-degree per vertex (lattice half-width)
+	Beta        float64
+	Seed        int64
+	MaxWeight   int
+}
+
+// WattsStrogatz generates a small-world edge list with symmetric edges
+// (each lattice edge appears in both directions, sharing its weight), the
+// shape of SNAP's undirected co-purchase/collaboration graphs. The
+// directed edge count is 2·N·K.
+func WattsStrogatz(cfg WattsStrogatzConfig) []graph.Edge {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumVertices
+	edges := make([]graph.Edge, 0, 2*n*cfg.K)
+	for v := 0; v < n; v++ {
+		for k := 1; k <= cfg.K; k++ {
+			dst := (v + k) % n
+			if rng.Float64() < cfg.Beta {
+				dst = rng.Intn(n)
+				if dst == v {
+					dst = (dst + 1) % n
+				}
+			}
+			w := drawWeight(rng, cfg.MaxWeight)
+			edges = append(edges,
+				graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(dst), Weight: w},
+				graph.Edge{Src: graph.VertexID(dst), Dst: graph.VertexID(v), Weight: w},
+			)
+		}
+	}
+	return edges
+}
+
+// ErdosRenyiConfig parameterises a uniform random digraph with an exact
+// edge count.
+type ErdosRenyiConfig struct {
+	NumVertices int
+	NumEdges    int
+	Seed        int64
+	MaxWeight   int
+}
+
+// ErdosRenyi generates a uniform random directed edge list without
+// duplicates or self-loops.
+func ErdosRenyi(cfg ErdosRenyiConfig) []graph.Edge {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seen := make(map[uint64]struct{}, cfg.NumEdges)
+	edges := make([]graph.Edge, 0, cfg.NumEdges)
+	maxAttempts := cfg.NumEdges * 8
+	for attempts := 0; len(edges) < cfg.NumEdges && attempts < maxAttempts; attempts++ {
+		src := rng.Intn(cfg.NumVertices)
+		dst := rng.Intn(cfg.NumVertices)
+		if src == dst {
+			continue
+		}
+		key := uint64(src)<<32 | uint64(dst)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(src),
+			Dst:    graph.VertexID(dst),
+			Weight: drawWeight(rng, cfg.MaxWeight),
+		})
+	}
+	return edges
+}

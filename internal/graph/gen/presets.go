@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// Preset identifies one of the paper's six datasets (Table 2), generated
+// synthetically at reduced scale. Scale 1.0 targets the default
+// simulation-friendly sizes below; the benchmark harness can shrink
+// further for quick runs via the Scale field.
+type Preset struct {
+	// Name is the paper's dataset code (AZ, DL, GL, LJ, OR, FR).
+	Name string
+	// FullName is the SNAP dataset the preset stands in for.
+	FullName string
+	// PaperVertices / PaperEdges / PaperDiameter / PaperAvgDegree are
+	// Table 2's numbers, kept for EXPERIMENTS.md reporting.
+	PaperVertices  int
+	PaperEdges     int
+	PaperDiameter  int
+	PaperAvgDegree float64
+	// Kind selects the generator family that matches the dataset's
+	// topology: "rmat" for social networks, "ws" for the long-diameter
+	// co-purchase / collaboration graphs.
+	Kind string
+	// Default generation size (before Scale). Degrees are reduced
+	// relative to the paper's datasets so that BFS depth — which sets
+	// propagation-wave depth, the behaviour the evaluation rests on —
+	// survives the vertex-count reduction (depth ~ log V / log deg).
+	Vertices int
+	Degree   int // target average out-degree at scaled size
+	Seed     int64
+}
+
+// Presets lists the six Table 2 datasets in the paper's order.
+func Presets() []Preset {
+	return []Preset{
+		// com-Amazon: long diameter (44), low degree — small-world lattice
+		// with little rewiring keeps the long-path shape.
+		{Name: "AZ", FullName: "com-Amazon", PaperVertices: 334_863, PaperEdges: 925_872, PaperDiameter: 44, PaperAvgDegree: 6, Kind: "ws", Vertices: 60_000, Degree: 3, Seed: 42},
+		// com-DBLP: moderate diameter collaboration graph.
+		{Name: "DL", FullName: "com-DBLP", PaperVertices: 317_080, PaperEdges: 1_049_866, PaperDiameter: 21, PaperAvgDegree: 7, Kind: "ws2", Vertices: 56_000, Degree: 3, Seed: 43},
+		// ego-Gplus: sparse social graph, short diameter.
+		{Name: "GL", FullName: "ego-Gplus", PaperVertices: 2_394_385, PaperEdges: 5_021_410, PaperDiameter: 9, PaperAvgDegree: 2, Kind: "rmat", Vertices: 120_000, Degree: 2, Seed: 44},
+		// LiveJournal: classic power-law social network.
+		{Name: "LJ", FullName: "LiveJournal", PaperVertices: 4_847_571, PaperEdges: 68_993_773, PaperDiameter: 17, PaperAvgDegree: 17, Kind: "rmat", Vertices: 100_000, Degree: 7, Seed: 45},
+		// Orkut: dense short-diameter social network.
+		{Name: "OR", FullName: "Orkut", PaperVertices: 3_072_441, PaperEdges: 117_185_083, PaperDiameter: 9, PaperAvgDegree: 76, Kind: "rmat", Vertices: 40_000, Degree: 12, Seed: 46},
+		// Friendster: the paper's largest and deepest graph (d=32); a
+		// hub-augmented small world preserves both the diameter and the
+		// degree skew at reduced scale.
+		{Name: "FR", FullName: "Friendster", PaperVertices: 65_608_366, PaperEdges: 1_806_067_135, PaperDiameter: 32, PaperAvgDegree: 29, Kind: "swh", Vertices: 160_000, Degree: 4, Seed: 47},
+	}
+}
+
+// PresetByName returns the preset with the given code (case-sensitive).
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 6)
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}
+
+// Generate produces the preset's full edge list at the given scale
+// (scale 1.0 = the preset's default size; smaller values shrink both V and
+// E proportionally, floored at 1k vertices). Weights are integers in
+// [1,64] so SSSP exercises non-unit paths.
+func (p Preset) Generate(scale float64) ([]graph.Edge, int) {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(p.Vertices) * scale)
+	if v < 1000 {
+		v = 1000
+	}
+	e := v * p.Degree
+	const maxWeight = 64
+	switch p.Kind {
+	case "ws":
+		// Long-diameter small world: minimal rewiring.
+		return WattsStrogatz(WattsStrogatzConfig{
+			NumVertices: v, K: p.Degree, Beta: 0.02, Seed: p.Seed, MaxWeight: maxWeight,
+		}), v
+	case "ws2":
+		// Moderate-diameter small world.
+		return WattsStrogatz(WattsStrogatzConfig{
+			NumVertices: v, K: p.Degree, Beta: 0.12, Seed: p.Seed, MaxWeight: maxWeight,
+		}), v
+	case "swh":
+		// Hub-augmented small world: a deep lattice backbone carrying
+		// the diameter plus an R-MAT overlay carrying the degree skew.
+		base := WattsStrogatz(WattsStrogatzConfig{
+			NumVertices: v, K: p.Degree, Beta: 0.03, Seed: p.Seed, MaxWeight: maxWeight,
+		})
+		overlay := RMAT(RMATConfig{
+			NumVertices: v, NumEdges: e / 2,
+			A: 0.57, B: 0.19, C: 0.19,
+			Seed: p.Seed + 1, MaxWeight: maxWeight,
+		})
+		return append(base, overlay...), v
+	default: // "rmat"
+		edges := RMAT(RMATConfig{
+			NumVertices: v, NumEdges: e,
+			A: 0.57, B: 0.19, C: 0.19,
+			Seed: p.Seed, MaxWeight: maxWeight,
+		})
+		// SNAP crawls carry community/ID locality that raw R-MAT
+		// lacks; restore it (see RelabelBFS).
+		return RelabelBFS(edges, v), v
+	}
+}

@@ -1,0 +1,66 @@
+package graph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+func TestLoadSNAP(t *testing.T) {
+	in := `# comment line
+# another
+10 20
+20 30 2.5
+10	30
+`
+	edges, n, err := graph.LoadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("vertices = %d, want 3 (dense remap)", n)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	// Remap is first-appearance order: 10→0, 20→1, 30→2.
+	if edges[0] != (graph.Edge{Src: 0, Dst: 1, Weight: 1}) {
+		t.Fatalf("edge 0 = %+v", edges[0])
+	}
+	if edges[1] != (graph.Edge{Src: 1, Dst: 2, Weight: 2.5}) {
+		t.Fatalf("edge 1 = %+v", edges[1])
+	}
+	if edges[2] != (graph.Edge{Src: 0, Dst: 2, Weight: 1}) {
+		t.Fatalf("edge 2 = %+v", edges[2])
+	}
+}
+
+func TestLoadSNAPErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "a b\n", "1 b\n", "1 2 x\n"} {
+		if _, _, err := graph.LoadSNAP(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+}
+
+func TestWriteSNAPRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, Weight: 3}, {Src: 1, Dst: 2, Weight: 1.5}}
+	var buf bytes.Buffer
+	if err := graph.WriteSNAP(&buf, edges, "test graph"); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := graph.LoadSNAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(got) != 2 {
+		t.Fatalf("round trip gave n=%d edges=%d", n, len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, got[i], edges[i])
+		}
+	}
+}

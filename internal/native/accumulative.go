@@ -1,0 +1,156 @@
+package native
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// atomicAdd adds delta to the float64 stored at bits[i] with a CAS loop.
+func (s *atomicStates) atomicAdd(v graph.VertexID, delta float64) {
+	for {
+		old := atomic.LoadUint64(&s.bits[v])
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(&s.bits[v], old, next) {
+			return
+		}
+	}
+}
+
+// Accumulative runs the parallel incremental engine for accumulative
+// algorithms (PageRank, Adsorption): the batch's contribution diffs seed
+// pending deltas, then frontier-synchronous rounds apply and forward them
+// with lock-free accumulation until every delta falls below epsilon.
+func Accumulative(a algo.AccumulativeAlgo, oldG, g *graph.Snapshot, warm []float64, res graph.ApplyResult, cfg Config) []float64 {
+	n := g.NumVertices
+	state := newAtomicStates(warm)
+	for v := len(warm); v < n; v++ {
+		state.bits = append(state.bits, math.Float64bits(a.Base(graph.VertexID(v))))
+	}
+	delta := newAtomicStates(make([]float64, n))
+	totalOutW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		totalOutW[v] = algo.TotalOutWeight(g, graph.VertexID(v))
+	}
+
+	// Repair: cancel each touched source's old contributions and apply
+	// its new ones (serial — batch-sized work).
+	var frontier []graph.VertexID
+	inFrontier := make([]bool, n)
+	activate := func(v graph.VertexID) {
+		if !inFrontier[v] {
+			inFrontier[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	srcSeen := map[graph.VertexID]bool{}
+	var srcs []graph.VertexID
+	for _, e := range res.AddedEdges {
+		if !srcSeen[e.Src] {
+			srcSeen[e.Src] = true
+			srcs = append(srcs, e.Src)
+		}
+	}
+	for _, e := range res.DeletedEdges {
+		if !srcSeen[e.Src] {
+			srcSeen[e.Src] = true
+			srcs = append(srcs, e.Src)
+		}
+	}
+	d := a.Damping()
+	for _, u := range srcs {
+		ru := state.load(u)
+		if int(u) < oldG.NumVertices {
+			if oldDeg := oldG.OutDegree(u); oldDeg > 0 {
+				oldW := algo.TotalOutWeight(oldG, u)
+				ns := oldG.OutNeighbors(u)
+				ws := oldG.OutWeights(u)
+				for i, w := range ns {
+					delta.atomicAdd(w, -d*ru*a.Share(ws[i], oldDeg, oldW))
+					activate(w)
+				}
+			}
+		}
+		if newDeg := g.OutDegree(u); newDeg > 0 {
+			ns := g.OutNeighbors(u)
+			ws := g.OutWeights(u)
+			for i, w := range ns {
+				delta.atomicAdd(w, d*ru*a.Share(ws[i], newDeg, totalOutW[u]))
+				activate(w)
+			}
+		}
+	}
+
+	// Frontier-synchronous parallel delta propagation.
+	workers := cfg.workers()
+	eps := a.Epsilon()
+	nextFlag := make([]uint32, n)
+	for len(frontier) > 0 {
+		for _, v := range frontier {
+			inFrontier[v] = false
+		}
+		nexts := make([][]graph.VertexID, workers)
+		var wg sync.WaitGroup
+		shard := (len(frontier) + workers - 1) / workers
+		for wi := 0; wi < workers; wi++ {
+			lo := wi * shard
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + shard
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				var local []graph.VertexID
+				for _, v := range frontier[lo:hi] {
+					// Claim the vertex's pending delta.
+					var dv float64
+					for {
+						old := atomic.LoadUint64(&delta.bits[v])
+						dv = math.Float64frombits(old)
+						if atomic.CompareAndSwapUint64(&delta.bits[v], old, 0) {
+							break
+						}
+					}
+					if math.Abs(dv) <= eps {
+						continue
+					}
+					state.atomicAdd(v, dv)
+					deg := g.OutDegree(v)
+					if deg == 0 {
+						continue
+					}
+					ns := g.OutNeighbors(v)
+					ws := g.OutWeights(v)
+					for i, w := range ns {
+						contrib := d * dv * a.Share(ws[i], deg, totalOutW[v])
+						if contrib == 0 {
+							continue
+						}
+						delta.atomicAdd(w, contrib)
+						if atomic.CompareAndSwapUint32(&nextFlag[w], 0, 1) {
+							local = append(local, w)
+						}
+					}
+				}
+				nexts[wi] = local
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, l := range nexts {
+			frontier = append(frontier, l...)
+		}
+		for _, v := range frontier {
+			atomic.StoreUint32(&nextFlag[v], 0)
+			inFrontier[v] = true
+		}
+	}
+	return state.snapshot()
+}

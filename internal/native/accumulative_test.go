@@ -1,0 +1,51 @@
+package native_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/native"
+)
+
+// TestNativeAccumulativeMatchesOracle checks the parallel delta engine
+// against the full-recompute oracle for both accumulative algorithms and
+// several worker counts.
+func TestNativeAccumulativeMatchesOracle(t *testing.T) {
+	for _, algoName := range []string{"pagerank", "adsorption"} {
+		for _, workers := range []int{1, 8} {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/w%d/seed%d", algoName, workers, seed), func(t *testing.T) {
+					c, err := enginetest.Make(algoName, enginetest.DefaultConfig(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					acc := c.Algo.(algo.AccumulativeAlgo)
+					got := native.Accumulative(acc, c.OldG, c.NewG, c.Warm, c.Res, native.Config{Workers: workers})
+					want := algo.Reference(c.Algo, c.NewG)
+					if i := algo.StatesEqual(got, want, 1e-4); i >= 0 {
+						t.Fatalf("mismatch at vertex %d: got %v want %v", i, got[i], want[i])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNativeAccumulativeRepeated guards against torn-float races (run
+// with -race).
+func TestNativeAccumulativeRepeated(t *testing.T) {
+	c, err := enginetest.Make("pagerank", enginetest.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := c.Algo.(algo.AccumulativeAlgo)
+	want := algo.Reference(c.Algo, c.NewG)
+	for i := 0; i < 5; i++ {
+		got := native.Accumulative(acc, c.OldG, c.NewG, c.Warm, c.Res, native.Config{Workers: 8})
+		if j := algo.StatesEqual(got, want, 1e-4); j >= 0 {
+			t.Fatalf("iteration %d: mismatch at %d", i, j)
+		}
+	}
+}

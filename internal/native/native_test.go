@@ -1,0 +1,88 @@
+package native_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/native"
+)
+
+// TestNativeEnginesMatchOracle checks both native engines against the
+// full-recompute oracle across algorithms and seeds, with several worker
+// counts (1 worker exercises the degenerate serial path, many workers
+// the concurrent CAS paths).
+func TestNativeEnginesMatchOracle(t *testing.T) {
+	for _, algoName := range []string{"sssp", "cc"} {
+		for _, workers := range []int{1, 4, 16} {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/w%d/seed%d", algoName, workers, seed), func(t *testing.T) {
+					c, err := enginetest.Make(algoName, enginetest.DefaultConfig(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					mono := c.Algo.(algo.MonotonicAlgo)
+					want := algo.Reference(c.Algo, c.NewG)
+					cfg := native.Config{Workers: workers}
+
+					got := native.LigraO(mono, c.OldG, c.NewG, c.Warm, c.Res, cfg)
+					if i := algo.StatesEqual(got, want, 1e-9); i >= 0 {
+						t.Fatalf("LigraO mismatch at vertex %d: got %v want %v", i, got[i], want[i])
+					}
+
+					got = native.TopologyDriven(mono, c.OldG, c.NewG, c.Warm, c.Res, cfg)
+					if i := algo.StatesEqual(got, want, 1e-9); i >= 0 {
+						t.Fatalf("TopologyDriven mismatch at vertex %d: got %v want %v", i, got[i], want[i])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNativeDeleteHeavy stresses the native deletion repair.
+func TestNativeDeleteHeavy(t *testing.T) {
+	cfg := enginetest.DefaultConfig(99)
+	cfg.AddFraction = 0.1
+	c, err := enginetest.Make("sssp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := c.Algo.(algo.MonotonicAlgo)
+	want := algo.Reference(c.Algo, c.NewG)
+	for _, run := range []struct {
+		name string
+		f    func() []float64
+	}{
+		{"LigraO", func() []float64 {
+			return native.LigraO(mono, c.OldG, c.NewG, c.Warm, c.Res, native.Config{Workers: 8})
+		}},
+		{"TopologyDriven", func() []float64 {
+			return native.TopologyDriven(mono, c.OldG, c.NewG, c.Warm, c.Res, native.Config{Workers: 8})
+		}},
+	} {
+		got := run.f()
+		if i := algo.StatesEqual(got, want, 1e-9); i >= 0 {
+			t.Fatalf("%s mismatch at vertex %d", run.name, i)
+		}
+	}
+}
+
+// TestNativeRepeatedRuns guards against data races producing wrong final
+// values: many repetitions of a concurrent run must all converge to the
+// oracle (run with -race in CI).
+func TestNativeRepeatedRuns(t *testing.T) {
+	c, err := enginetest.Make("cc", enginetest.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := c.Algo.(algo.MonotonicAlgo)
+	want := algo.Reference(c.Algo, c.NewG)
+	for i := 0; i < 10; i++ {
+		got := native.TopologyDriven(mono, c.OldG, c.NewG, c.Warm, c.Res, native.Config{Workers: 8})
+		if j := algo.StatesEqual(got, want, 0); j >= 0 {
+			t.Fatalf("iteration %d: mismatch at vertex %d", i, j)
+		}
+	}
+}

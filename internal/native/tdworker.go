@@ -1,0 +1,261 @@
+package native
+
+import (
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// tdWorker runs the two-phase topology-driven algorithm over one chunk:
+// phase A counts, per in-chunk vertex, the propagations that will pass
+// through it; phase B walks roots whose count has drained to zero,
+// merging ancestor propagations before a vertex forwards its state.
+// State reads/writes on shared vertices use the atomic state vector, so
+// cross-chunk interleavings stay monotone-safe.
+type tdWorker struct {
+	a     algo.MonotonicAlgo
+	g     *graph.Snapshot
+	s     *atomicStates
+	chunk graph.Chunk
+
+	// Chunk-local indices: vertex v maps to v-chunk.Start; edge e (of
+	// an in-chunk source) maps to e-edgeBase.
+	topo      []int32
+	walkStart []uint32
+	pending   []bool
+	inSet     []uint32
+	edgeEpoch []uint32
+	edgeBase  uint64
+	epoch     uint32
+
+	stackDepth int
+	stack      []nlevel
+	zeroQ      []graph.VertexID
+	// waitBuckets holds waiting roots bucketed by Topology_List value,
+	// popped lowest-first (footnote 3), with lazy re-bucketing — the
+	// same scheme as the simulated TDTU, avoiding quadratic scans.
+	waitBuckets [][]graph.VertexID
+	out         []graph.VertexID
+
+	// tracked records that the batch's topology-tracking pass ran;
+	// later rounds are residual fixups riding the drained counters.
+	tracked bool
+	// rootEpoch marks the tracking roots of the current epoch (array
+	// instead of a map: this test runs per edge).
+	rootEpoch []uint32
+}
+
+type nlevel struct {
+	v        graph.VertexID
+	cur, end uint64
+}
+
+func newTDWorker(a algo.MonotonicAlgo, g *graph.Snapshot, s *atomicStates, chunk graph.Chunk) *tdWorker {
+	n := chunk.Len()
+	var edgeBase, edgeEnd uint64
+	if n > 0 {
+		edgeBase = g.Offsets[chunk.Start]
+		edgeEnd = g.Offsets[chunk.End]
+	}
+	return &tdWorker{
+		a: a, g: g, s: s, chunk: chunk,
+		topo:       make([]int32, n),
+		rootEpoch:  make([]uint32, n),
+		walkStart:  make([]uint32, n),
+		pending:    make([]bool, n),
+		inSet:      make([]uint32, n),
+		edgeEpoch:  make([]uint32, edgeEnd-edgeBase),
+		edgeBase:   edgeBase,
+		stackDepth: 10,
+	}
+}
+
+func (t *tdWorker) li(v graph.VertexID) int { return int(v - t.chunk.Start) }
+
+// round processes one activation set and returns the vertices that must
+// be re-activated next round (cross-chunk destinations and late
+// arrivals).
+func (t *tdWorker) round(roots []graph.VertexID) []graph.VertexID {
+	t.out = t.out[:0]
+	if !t.tracked {
+		t.track(roots)
+		t.tracked = true
+	}
+	t.process(roots)
+	out := make([]graph.VertexID, len(t.out))
+	copy(out, t.out)
+	return out
+}
+
+func (t *tdWorker) track(roots []graph.VertexID) {
+	t.epoch++
+	ep := t.epoch
+	for _, v := range roots {
+		t.rootEpoch[t.li(v)] = ep
+	}
+	for _, root := range roots {
+		if t.inSet[t.li(root)] == ep {
+			continue
+		}
+		t.inSet[t.li(root)] = ep
+		t.stack = t.stack[:0]
+		t.stack = append(t.stack, nlevel{v: root, cur: t.g.Offsets[root], end: t.g.Offsets[root+1]})
+		for len(t.stack) > 0 {
+			lv := &t.stack[len(t.stack)-1]
+			if lv.cur >= lv.end {
+				t.stack = t.stack[:len(t.stack)-1]
+				continue
+			}
+			e := lv.cur
+			lv.cur++
+			if t.edgeEpoch[e-t.edgeBase] == ep {
+				continue
+			}
+			t.edgeEpoch[e-t.edgeBase] = ep
+			w := t.g.Neighbors[e]
+			if !t.chunk.Contains(w) {
+				continue
+			}
+			wi := t.li(w)
+			t.topo[wi]++
+			if t.rootEpoch[wi] == ep || t.inSet[wi] == ep || len(t.stack) >= t.stackDepth {
+				continue
+			}
+			t.inSet[wi] = ep
+			t.stack = append(t.stack, nlevel{v: w, cur: t.g.Offsets[w], end: t.g.Offsets[w+1]})
+		}
+	}
+}
+
+func (t *tdWorker) process(roots []graph.VertexID) {
+	t.epoch++
+	ep := t.epoch
+	t.zeroQ = t.zeroQ[:0]
+	for b := range t.waitBuckets {
+		t.waitBuckets[b] = t.waitBuckets[b][:0]
+	}
+	for _, v := range roots {
+		t.enqueue(v, ep)
+	}
+	for {
+		root, ok := t.pickRoot(ep)
+		if !ok {
+			break
+		}
+		if t.walkStart[t.li(root)] == ep {
+			continue
+		}
+		t.walk(root, ep)
+	}
+}
+
+func (t *tdWorker) enqueue(v graph.VertexID, ep uint32) {
+	vi := t.li(v)
+	if t.inSet[vi] == ep {
+		return
+	}
+	t.inSet[vi] = ep
+	if t.topo[vi] == 0 {
+		t.zeroQ = append(t.zeroQ, v)
+	} else {
+		t.bucketPut(v)
+	}
+}
+
+const nMaxWaitBucket = 63
+
+func (t *tdWorker) bucketPut(v graph.VertexID) {
+	b := int(t.topo[t.li(v)])
+	if b > nMaxWaitBucket {
+		b = nMaxWaitBucket
+	}
+	for len(t.waitBuckets) <= b {
+		t.waitBuckets = append(t.waitBuckets, nil)
+	}
+	t.waitBuckets[b] = append(t.waitBuckets[b], v)
+}
+
+func (t *tdWorker) pickRoot(ep uint32) (graph.VertexID, bool) {
+	for len(t.zeroQ) > 0 {
+		v := t.zeroQ[len(t.zeroQ)-1]
+		t.zeroQ = t.zeroQ[:len(t.zeroQ)-1]
+		return v, true
+	}
+	for b := 1; b < len(t.waitBuckets); b++ {
+		for len(t.waitBuckets[b]) > 0 {
+			q := t.waitBuckets[b]
+			v := q[len(q)-1]
+			t.waitBuckets[b] = q[:len(q)-1]
+			if t.walkStart[t.li(v)] == ep {
+				continue
+			}
+			cur := int(t.topo[t.li(v)])
+			if cur > nMaxWaitBucket {
+				cur = nMaxWaitBucket
+			}
+			if cur < b {
+				if cur == 0 {
+					return v, true
+				}
+				t.waitBuckets[cur] = append(t.waitBuckets[cur], v)
+				// Rescan from the lower bucket the entry moved to.
+				b = cur - 1
+				break
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (t *tdWorker) begin(v graph.VertexID, ep uint32) {
+	vi := t.li(v)
+	t.walkStart[vi] = ep
+	t.pending[vi] = false
+	t.stack = append(t.stack, nlevel{v: v, cur: t.g.Offsets[v], end: t.g.Offsets[v+1]})
+}
+
+func (t *tdWorker) walk(root graph.VertexID, ep uint32) {
+	t.stack = t.stack[:0]
+	t.begin(root, ep)
+	for len(t.stack) > 0 {
+		lv := &t.stack[len(t.stack)-1]
+		if lv.cur >= lv.end {
+			t.stack = t.stack[:len(t.stack)-1]
+			continue
+		}
+		e := lv.cur
+		lv.cur++
+		if t.edgeEpoch[e-t.edgeBase] == ep {
+			continue
+		}
+		t.edgeEpoch[e-t.edgeBase] = ep
+		w := t.g.Neighbors[e]
+		cand := t.a.Propagate(t.s.load(lv.v), t.g.Weights[e])
+		changed := t.s.improve(w, cand, t.a.Better)
+		if !t.chunk.Contains(w) {
+			if changed {
+				t.out = append(t.out, w)
+			}
+			continue
+		}
+		wi := t.li(w)
+		if t.topo[wi] > 0 {
+			t.topo[wi]--
+		}
+		if changed {
+			if t.walkStart[wi] == ep {
+				t.out = append(t.out, w)
+				continue
+			}
+			t.pending[wi] = true
+		}
+		if !t.pending[wi] || t.walkStart[wi] == ep {
+			continue
+		}
+		if t.topo[wi] == 0 && len(t.stack) < t.stackDepth {
+			t.begin(w, ep)
+		} else {
+			t.enqueue(w, ep)
+		}
+	}
+}

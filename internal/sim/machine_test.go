@@ -1,0 +1,265 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+func smallMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	return sim.New(cfg)
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := smallMachine(t)
+	a := m.Alloc("a", 100)
+	b := m.Alloc("b", 100)
+	if a.Base%4096 != 0 || b.Base%4096 != 0 {
+		t.Fatal("allocations not page aligned")
+	}
+	if b.Base < a.End() {
+		t.Fatal("allocations overlap")
+	}
+	if !a.Contains(a.Base) || a.Contains(a.End()) {
+		t.Fatal("region bounds wrong")
+	}
+}
+
+func TestHierarchyWalk(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("data", 1<<16)
+	c := m.Core(0)
+	c.Read(r.Base, 4)
+	// Cold: must have missed through to DRAM.
+	if m.DRAM().Reads != 1 {
+		t.Fatalf("DRAM reads = %d, want 1", m.DRAM().Reads)
+	}
+	before := c.Cycles()
+	c.Read(r.Base, 4) // L1 hit: no extra stall in the model
+	if c.Cycles() != before {
+		t.Fatalf("L1 hit charged %v cycles", c.Cycles()-before)
+	}
+	c.Read(r.Base+8, 4) // same line: still a hit
+	if m.DRAM().Reads != 1 {
+		t.Fatal("same-line access went to DRAM")
+	}
+}
+
+func TestCoherenceInvalidation(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("shared", 1<<12)
+	m.MarkCoherent(r)
+	m.Core(0).Read(r.Base, 4)
+	m.Core(1).Read(r.Base, 4)
+	if m.Invalidations() != 0 {
+		t.Fatal("reads caused invalidations")
+	}
+	m.Core(2).Write(r.Base, 4)
+	if m.Invalidations() != 2 {
+		t.Fatalf("invalidations = %d, want 2 (cores 0 and 1)", m.Invalidations())
+	}
+	// A second write by the same core invalidates nobody.
+	m.Core(2).Write(r.Base, 4)
+	if m.Invalidations() != 2 {
+		t.Fatalf("extra invalidations on exclusive write: %d", m.Invalidations())
+	}
+}
+
+func TestNonCoherentRangeSkipsDirectory(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("private", 1<<12)
+	m.Core(0).Read(r.Base, 4)
+	m.Core(1).Write(r.Base, 4)
+	if m.Invalidations() != 0 {
+		t.Fatal("non-coherent range tracked by directory")
+	}
+}
+
+func TestUsefulnessTracking(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("states", 1<<12)
+	m.TrackUseful(r)
+	c := m.Core(0)
+	c.Read(r.Base, 4)    // word 0
+	c.Read(r.Base+4, 4)  // word 1, same line
+	c.Read(r.Base+64, 4) // second line, word 0
+	m.Finish()
+	fetched, used := m.StateUsefulness()
+	if fetched != 32 {
+		t.Fatalf("fetched words = %d, want 32 (two lines)", fetched)
+	}
+	if used != 3 {
+		t.Fatalf("used words = %d, want 3", used)
+	}
+}
+
+func TestBarrierAndRoofline(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	cfg.DRAM.BytesPerCycle = 1 // absurdly slow memory
+	m := sim.New(cfg)
+	r := m.Alloc("d", 1<<16)
+	// Touch 100 distinct lines: 6400 bytes at 1 B/cycle => floor 6400.
+	for i := 0; i < 100; i++ {
+		m.Core(0).Prefetch(r.Base+uint64(i*64), 4)
+	}
+	m.Barrier()
+	if m.Time() < 6400 {
+		t.Fatalf("time %v below bandwidth floor 6400", m.Time())
+	}
+}
+
+func TestBarrierSynchronisesCores(t *testing.T) {
+	m := smallMachine(t)
+	m.Core(0).Compute(1000)
+	m.Barrier()
+	c1 := m.Core(1)
+	if c1.Cycles() != m.Time() {
+		t.Fatalf("core 1 at %v, machine time %v", c1.Cycles(), m.Time())
+	}
+}
+
+func TestCollectInto(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("d", 1<<12)
+	m.TrackUseful(r)
+	m.Core(0).Read(r.Base, 4)
+	m.Core(0).Compute(10)
+	m.Finish()
+	col := stats.NewCollector()
+	m.CollectInto(col)
+	if col.Get(stats.CtrL1Misses) == 0 {
+		t.Fatal("L1 misses not collected")
+	}
+	if col.Get(stats.CtrDRAMBytes) == 0 {
+		t.Fatal("DRAM bytes not collected")
+	}
+	if col.Get(stats.CtrCyclesCompute) == 0 {
+		t.Fatal("compute cycles not collected")
+	}
+	if col.Get(stats.CtrStateWordsFetched) == 0 {
+		t.Fatal("usefulness not collected")
+	}
+}
+
+func TestPrefetchDoesNotStall(t *testing.T) {
+	m := smallMachine(t)
+	r := m.Alloc("d", 1<<16)
+	c := m.Core(0)
+	before := c.Cycles()
+	c.Prefetch(r.Base, 4)
+	if c.Cycles() != before {
+		t.Fatal("prefetch stalled the core")
+	}
+	if m.DRAM().Reads != 1 {
+		t.Fatal("prefetch did not move the line")
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	m := smallMachine(t)
+	c := m.Core(0)
+	c.SetPhase(sim.PhasePropagate)
+	c.Compute(10)
+	c.SetPhase(sim.PhaseOther)
+	c.Compute(5)
+	m.Finish()
+	col := stats.NewCollector()
+	m.CollectInto(col)
+	prop := col.Get(stats.CtrCyclesPropagate)
+	other := col.Get(stats.CtrCyclesOther)
+	if prop == 0 || other == 0 || prop <= other {
+		t.Fatalf("phase split prop=%d other=%d", prop, other)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := sim.ScaledConfig()
+	if cfg.LLCSizeMB >= sim.DefaultConfig().LLCSizeMB {
+		t.Fatal("scaled config not smaller")
+	}
+	if cfg.Cores != sim.DefaultConfig().Cores {
+		t.Fatal("scaled config changed core count")
+	}
+	// Must construct cleanly.
+	sim.New(cfg)
+}
+
+func TestNullPort(t *testing.T) {
+	var p sim.Port = sim.NullPort{}
+	p.Read(0, 4)
+	p.Write(0, 4)
+	p.Prefetch(0, 4)
+	p.PrefetchWrite(0, 4)
+	p.Compute(1)
+	p.Stall(1)
+	p.SetPhase(sim.PhasePropagate)
+}
+
+func TestLLCEvictionInclusive(t *testing.T) {
+	// A tiny LLC forces evictions; evicted lines must leave the private
+	// caches too (inclusive), so a re-access misses everywhere.
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 1
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	m := sim.New(cfg)
+	r := m.Alloc("d", 64<<20)
+	m.MarkCoherent(r)
+	c := m.Core(0)
+	c.Read(r.Base, 4)
+	// Blow the LLC with > capacity distinct lines.
+	lines := (1 << 20) / 64 * 2
+	for i := 1; i <= lines; i++ {
+		c.Prefetch(r.Base+uint64(i*64), 4)
+	}
+	dramBefore := m.DRAM().Reads
+	c.Read(r.Base, 4)
+	if m.DRAM().Reads == dramBefore {
+		t.Fatal("line survived LLC wipe — inclusion broken")
+	}
+}
+
+// TestDRAMConservation: every DRAM read corresponds to an LLC miss and
+// every DRAM write to a dirty LLC eviction (byte totals match at 64 B per
+// line) — the conservation law behind the Fig 16/20 traffic numbers.
+func TestDRAMConservation(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	m := sim.New(cfg)
+	r := m.Alloc("d", 8<<20)
+	m.MarkCoherent(r)
+	// A mixed, thrashing access pattern.
+	x := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := r.Base + (x>>33)%(8<<20)
+		core := m.Core(int(x>>63) & 1)
+		if x&3 == 0 {
+			core.Write(addr, 4)
+		} else {
+			core.Read(addr, 4)
+		}
+	}
+	m.Finish()
+	if m.DRAM().Reads != m.LLC().Misses {
+		t.Fatalf("DRAM reads %d != LLC misses %d", m.DRAM().Reads, m.LLC().Misses)
+	}
+	if got, want := m.DRAM().BytesMoved, (m.DRAM().Reads+m.DRAM().Writes)*64; got != want {
+		t.Fatalf("bytes %d != 64*(reads+writes) %d", got, want)
+	}
+}

@@ -1,0 +1,111 @@
+// Package mem models the simulated main memory: a DDR4-style multi-channel
+// DRAM with a fixed access latency, a coarse row-buffer hit model, and
+// byte/bandwidth accounting. Bandwidth limiting itself is applied at the
+// machine level as a roofline bound (superstep time >= bytes moved /
+// aggregate bandwidth), which is what the paper's bandwidth-sensitivity
+// experiment (Fig 20) varies.
+package mem
+
+// Config describes the DRAM subsystem (Table 1: 12-channel DDR4-3200
+// CL17 behind a 2.5 GHz core clock).
+type Config struct {
+	// Channels is the number of independent DDR channels.
+	Channels int
+	// AccessLatency is the idle-latency of one line fetch in core
+	// cycles (CL17 + controller ≈ 2.5GHz * ~42ns ≈ 105 cycles).
+	AccessLatency uint64
+	// RowHitLatency is the reduced latency when the access falls in the
+	// last-opened row of its bank group (coarse open-page model).
+	RowHitLatency uint64
+	// BytesPerCycle is the aggregate peak bandwidth in bytes per core
+	// cycle (12 × 25.6 GB/s at 2.5 GHz ≈ 123 B/cycle).
+	BytesPerCycle float64
+	// RowBytes is the row-buffer span used by the open-page model.
+	RowBytes uint64
+}
+
+// DefaultConfig mirrors Table 1's memory system.
+func DefaultConfig() Config {
+	return Config{
+		Channels:      12,
+		AccessLatency: 105,
+		RowHitLatency: 55,
+		BytesPerCycle: 123,
+		RowBytes:      8192,
+	}
+}
+
+// DRAM is the memory device model.
+type DRAM struct {
+	cfg      Config
+	openRows []uint64 // per channel, last open row address
+
+	Reads      uint64
+	Writes     uint64
+	BytesMoved uint64
+	RowHits    uint64
+	RowMisses  uint64
+}
+
+// New builds a DRAM from the config, applying defaults for zero fields.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.AccessLatency == 0 {
+		cfg.AccessLatency = 105
+	}
+	if cfg.RowHitLatency == 0 || cfg.RowHitLatency > cfg.AccessLatency {
+		cfg.RowHitLatency = cfg.AccessLatency / 2
+	}
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 123
+	}
+	if cfg.RowBytes == 0 {
+		cfg.RowBytes = 8192
+	}
+	d := &DRAM{cfg: cfg, openRows: make([]uint64, cfg.Channels)}
+	for i := range d.openRows {
+		d.openRows[i] = ^uint64(0) // all rows closed
+	}
+	return d
+}
+
+// Config returns the effective configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Access models one line transfer (read or writeback) and returns its
+// latency in core cycles. Lines are striped across channels.
+func (d *DRAM) Access(lineAddr uint64, write bool, lineSize int) uint64 {
+	ch := int(lineAddr/uint64(lineSize)) % d.cfg.Channels
+	row := lineAddr / d.cfg.RowBytes
+	lat := d.cfg.AccessLatency
+	if d.openRows[ch] == row {
+		d.RowHits++
+		lat = d.cfg.RowHitLatency
+	} else {
+		d.RowMisses++
+		d.openRows[ch] = row
+	}
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	d.BytesMoved += uint64(lineSize)
+	return lat
+}
+
+// BandwidthCycles converts a byte volume into the minimum number of core
+// cycles the channels need to move it.
+func (d *DRAM) BandwidthCycles(bytes uint64) float64 {
+	return float64(bytes) / d.cfg.BytesPerCycle
+}
+
+// Reset zeroes counters and closes all rows.
+func (d *DRAM) Reset() {
+	d.Reads, d.Writes, d.BytesMoved, d.RowHits, d.RowMisses = 0, 0, 0, 0, 0
+	for i := range d.openRows {
+		d.openRows[i] = ^uint64(0)
+	}
+}

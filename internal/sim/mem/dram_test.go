@@ -1,0 +1,64 @@
+package mem_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/sim/mem"
+)
+
+func TestAccessCountsAndLatency(t *testing.T) {
+	d := mem.New(mem.DefaultConfig())
+	ch := d.Config().Channels
+	lat1 := d.Access(0, false, 64)
+	// Same channel (lines stripe by line index) and same row.
+	lat2 := d.Access(uint64(ch*64), false, 64)
+	if lat2 >= lat1 {
+		t.Fatalf("row hit latency %d not below miss latency %d", lat2, lat1)
+	}
+	d.Access(1<<20, true, 64)
+	if d.Reads != 2 || d.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", d.Reads, d.Writes)
+	}
+	if d.BytesMoved != 3*64 {
+		t.Fatalf("bytes = %d", d.BytesMoved)
+	}
+}
+
+func TestRowModel(t *testing.T) {
+	d := mem.New(mem.Config{Channels: 1, AccessLatency: 100, RowHitLatency: 40, BytesPerCycle: 10, RowBytes: 1024})
+	d.Access(0, false, 64)
+	d.Access(512, false, 64)  // same 1 KiB row
+	d.Access(2048, false, 64) // new row
+	if d.RowHits != 1 || d.RowMisses != 2 {
+		t.Fatalf("rowHits=%d rowMisses=%d", d.RowHits, d.RowMisses)
+	}
+}
+
+func TestBandwidthCycles(t *testing.T) {
+	d := mem.New(mem.Config{Channels: 1, AccessLatency: 100, RowHitLatency: 50, BytesPerCycle: 50})
+	if got := d.BandwidthCycles(500); got != 10 {
+		t.Fatalf("BandwidthCycles(500) = %v, want 10", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := mem.New(mem.Config{})
+	cfg := d.Config()
+	if cfg.Channels < 1 || cfg.AccessLatency == 0 || cfg.BytesPerCycle <= 0 {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := mem.New(mem.DefaultConfig())
+	d.Access(0, false, 64)
+	d.Reset()
+	if d.Reads != 0 || d.BytesMoved != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// After reset, the previously open row must not count as a hit.
+	d.Access(0, false, 64)
+	if d.RowHits != 0 {
+		t.Fatal("row state survived reset")
+	}
+}

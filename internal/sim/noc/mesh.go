@@ -1,0 +1,93 @@
+// Package noc models the on-chip interconnect of Table 1: an 8×8 mesh
+// with X-Y dimension-ordered routing, 512-bit (64 B) links, and 3 cycles
+// per hop. Cores sit at mesh tiles; LLC banks are distributed one per
+// tile and selected by line-address hashing, so an L2 miss travels from
+// the requesting core's tile to the home bank and back.
+package noc
+
+// Config describes the mesh.
+type Config struct {
+	// Dim is the mesh dimension (Dim×Dim tiles).
+	Dim int
+	// HopLatency is the per-hop latency in core cycles.
+	HopLatency uint64
+	// LinkBytesPerFlit is the payload of one flit (512-bit links → 64 B).
+	LinkBytesPerFlit int
+}
+
+// DefaultConfig mirrors Table 1's NoC.
+func DefaultConfig() Config {
+	return Config{Dim: 8, HopLatency: 3, LinkBytesPerFlit: 64}
+}
+
+// Mesh is the interconnect model.
+type Mesh struct {
+	cfg Config
+
+	Flits uint64
+	Hops  uint64
+}
+
+// New builds a mesh, applying defaults for zero fields.
+func New(cfg Config) *Mesh {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 8
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 3
+	}
+	if cfg.LinkBytesPerFlit <= 0 {
+		cfg.LinkBytesPerFlit = 64
+	}
+	return &Mesh{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Tiles returns the number of mesh tiles.
+func (m *Mesh) Tiles() int { return m.cfg.Dim * m.cfg.Dim }
+
+// HomeBank maps a line address to its home LLC bank tile.
+func (m *Mesh) HomeBank(lineAddr uint64) int {
+	// Hash above the line offset so consecutive lines stripe across
+	// banks, as banked LLCs do.
+	return int((lineAddr >> 6) % uint64(m.Tiles()))
+}
+
+// HopCount returns the X-Y routing distance between two tiles.
+func (m *Mesh) HopCount(fromTile, toTile int) int {
+	fx, fy := fromTile%m.cfg.Dim, fromTile/m.cfg.Dim
+	tx, ty := toTile%m.cfg.Dim, toTile/m.cfg.Dim
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Transfer accounts a round trip carrying payloadBytes between a core
+// tile and the home bank of lineAddr, and returns the added latency in
+// core cycles (request hop + response hops with payload serialisation).
+func (m *Mesh) Transfer(coreTile int, lineAddr uint64, payloadBytes int) uint64 {
+	bank := m.HomeBank(lineAddr)
+	hops := m.HopCount(coreTile, bank)
+	flits := 1 + (payloadBytes+m.cfg.LinkBytesPerFlit-1)/m.cfg.LinkBytesPerFlit
+	// Request (1 header flit) + response (header + payload flits).
+	m.Hops += uint64(2 * hops)
+	m.Flits += uint64((1 + flits) * max(hops, 1))
+	return uint64(2*hops) * m.cfg.HopLatency
+}
+
+// Reset zeroes the counters.
+func (m *Mesh) Reset() { m.Flits, m.Hops = 0, 0 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+package noc_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/sim/noc"
+)
+
+func TestHopCount(t *testing.T) {
+	m := noc.New(noc.DefaultConfig())
+	if m.Tiles() != 64 {
+		t.Fatalf("tiles = %d, want 64", m.Tiles())
+	}
+	// Tile 0 = (0,0); tile 63 = (7,7): Manhattan distance 14.
+	if got := m.HopCount(0, 63); got != 14 {
+		t.Fatalf("HopCount(0,63) = %d, want 14", got)
+	}
+	if got := m.HopCount(5, 5); got != 0 {
+		t.Fatalf("HopCount(5,5) = %d, want 0", got)
+	}
+	// Symmetry.
+	if m.HopCount(3, 42) != m.HopCount(42, 3) {
+		t.Fatal("hop count asymmetric")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	m := noc.New(noc.DefaultConfig())
+	lat := m.Transfer(0, 64*100, 64)
+	if lat == 0 && m.HomeBank(64*100) != 0 {
+		t.Fatal("nonlocal transfer had zero latency")
+	}
+	if m.Hops == 0 && m.HomeBank(64*100) != 0 {
+		t.Fatal("no hops recorded")
+	}
+	if m.Flits == 0 {
+		t.Fatal("no flits recorded")
+	}
+	m.Reset()
+	if m.Flits != 0 || m.Hops != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHomeBankStriping(t *testing.T) {
+	m := noc.New(noc.DefaultConfig())
+	// Consecutive lines must stripe across different banks.
+	b0 := m.HomeBank(0)
+	b1 := m.HomeBank(64)
+	if b0 == b1 {
+		t.Fatalf("consecutive lines map to same bank %d", b0)
+	}
+	// Bank must be stable for the same line.
+	if m.HomeBank(64) != b1 {
+		t.Fatal("bank mapping unstable")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := noc.New(noc.Config{})
+	cfg := m.Config()
+	if cfg.Dim != 8 || cfg.HopLatency != 3 || cfg.LinkBytesPerFlit != 64 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecords(t *testing.T) {
+	m := smallMachine(t)
+	var buf bytes.Buffer
+	m.SetTrace(&buf)
+	r := m.Alloc("d", 1<<12)
+	m.Core(0).Read(r.Base, 4)
+	m.Core(1).Write(r.Base+64, 4)
+	m.Core(2).Prefetch(r.Base+128, 4)
+	m.Core(3).PrefetchWrite(r.Base+192, 4)
+	m.Finish()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("trace has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	wantOps := []string{"0 R", "1 W", "2 PR", "3 PW"}
+	for i, want := range wantOps {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Fatalf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestTraceDetach(t *testing.T) {
+	m := smallMachine(t)
+	var buf bytes.Buffer
+	m.SetTrace(&buf)
+	m.SetTrace(nil)
+	r := m.Alloc("d", 1<<12)
+	m.Core(0).Read(r.Base, 4)
+	m.Finish()
+	if buf.Len() != 0 {
+		t.Fatal("detached trace still recorded")
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides lightweight event counters and derived metrics
+// shared by every engine, accelerator model, and the architectural
+// simulator. Counters are plain uint64 registers grouped in a Collector;
+// they are deliberately not synchronized — the simulator is deterministic
+// and single-goroutine per run, and native parallel paths keep per-worker
+// collectors that are merged at a barrier.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Collector is a named set of monotonically increasing counters.
+type Collector struct {
+	counters map[string]uint64
+	order    []string
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{counters: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta, creating it on first use.
+func (c *Collector) Add(name string, delta uint64) {
+	if _, ok := c.counters[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.counters[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (c *Collector) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the counter value (zero if never touched).
+func (c *Collector) Get(name string) uint64 { return c.counters[name] }
+
+// Set overwrites the counter value. Used when folding externally computed
+// totals (e.g. a merged per-worker sum) into a collector.
+func (c *Collector) Set(name string, v uint64) {
+	if _, ok := c.counters[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.counters[name] = v
+}
+
+// Merge adds every counter of other into c.
+func (c *Collector) Merge(other *Collector) {
+	for _, name := range other.order {
+		c.Add(name, other.counters[name])
+	}
+}
+
+// Reset zeroes all counters but keeps their registration order.
+func (c *Collector) Reset() {
+	for k := range c.counters {
+		c.counters[k] = 0
+	}
+}
+
+// Names returns the counter names in first-use order.
+func (c *Collector) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Collector) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Ratio returns num/den as a float, or 0 when the denominator is zero.
+func (c *Collector) Ratio(num, den string) float64 {
+	d := c.counters[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(c.counters[num]) / float64(d)
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Collector) String() string {
+	names := c.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", n, c.counters[n])
+	}
+	return b.String()
+}
+
+// Well-known counter names. Engines and the simulator agree on these so
+// that the benchmark harness can compute the paper's metrics uniformly.
+const (
+	// Algorithm-level work.
+	CtrStateUpdates      = "algo.state_updates"        // vertex state update operations executed
+	CtrStateWrites       = "algo.state_writes"         // update operations that changed the stored state
+	CtrUsefulUpdates     = "algo.useful_state_updates" // distinct vertices whose final state changed
+	CtrEdgesProcessed    = "algo.edges_processed"
+	CtrVerticesProcessed = "algo.vertices_processed"
+	CtrActivations       = "algo.activations"
+	CtrIterations        = "algo.iterations"
+	CtrPropagationVisits = "algo.propagation_visits"
+	CtrRedundantRevisit  = "algo.redundant_revisits"
+	CtrTagPropagations   = "algo.tag_propagations"
+	CtrResets            = "algo.resets"
+	CtrDeltaFiltered     = "algo.delta_filtered"   // DZiG-style suppressed near-zero deltas
+	CtrWorkSteals        = "algo.work_steals"      // frontier entries migrated by work stealing
+	CtrDenseIterations   = "algo.dense_iterations" // pull-direction rounds (Ligra direction optimisation)
+	CtrApproxTrims       = "algo.approx_trims"     // KickStarter-style trimmed dependencies
+
+	// Memory-system events (filled by internal/sim).
+	CtrL1Hits        = "mem.l1_hits"
+	CtrL1Misses      = "mem.l1_misses"
+	CtrL2Hits        = "mem.l2_hits"
+	CtrL2Misses      = "mem.l2_misses"
+	CtrLLCHits       = "mem.llc_hits"
+	CtrLLCMisses     = "mem.llc_misses"
+	CtrDRAMReads     = "mem.dram_reads"
+	CtrDRAMWrites    = "mem.dram_writes"
+	CtrDRAMBytes     = "mem.dram_bytes"
+	CtrNoCFlits      = "mem.noc_flits"
+	CtrNoCHops       = "mem.noc_hops"
+	CtrInvalidations = "mem.invalidations"
+	CtrWritebacks    = "mem.writebacks"
+	CtrTLBHits       = "mem.tlb_hits"
+	CtrTLBMisses     = "mem.tlb_misses"
+
+	// Vertex-state fetch usefulness (per-word tracking in the LLC).
+	CtrStateWordsFetched = "mem.state_words_fetched"
+	CtrStateWordsUsed    = "mem.state_words_used"
+
+	// Accelerator engine events.
+	CtrPrefetchedEdges   = "accel.prefetched_edges"
+	CtrPrefetchUseless   = "accel.prefetch_useless"
+	CtrStackPushes       = "accel.stack_pushes"
+	CtrStackPops         = "accel.stack_pops"
+	CtrStackOverflows    = "accel.stack_overflows"
+	CtrFetchedBufferFull = "accel.fetched_buffer_full"
+	CtrHotHits           = "accel.hot_hits"
+	CtrHotMisses         = "accel.hot_misses"
+	CtrHTableProbes      = "accel.htable_probes"
+	CtrCoalescedInserts  = "accel.coalesced_inserts"
+	CtrTrackingVisits    = "accel.tracking_visits"
+	CtrEventsEnqueued    = "accel.events_enqueued"
+	CtrEventsCoalesced   = "accel.events_coalesced"
+
+	// Software-overhead events (TDGraph-S runtime cost model).
+	CtrSWTrackingInstrs = "sw.tracking_instructions"
+	CtrSWIndexInstrs    = "sw.index_instructions"
+	CtrSWBranchMisses   = "sw.branch_misses"
+
+	// Cycle accounting (filled by internal/sim.Machine).
+	CtrCyclesTotal     = "cycles.total"
+	CtrCyclesCompute   = "cycles.compute"
+	CtrCyclesMemStall  = "cycles.mem_stall"
+	CtrCyclesPropagate = "cycles.propagate" // state-propagation portion
+	CtrCyclesOther     = "cycles.other"     // tracking/indexing/bookkeeping
+)
+
+// Series is an ordered list of labelled float values — one bar group or one
+// line of a figure. The bench renderers consume it.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Normalize divides every value by base (no-op when base is zero).
+func (s *Series) Normalize(base float64) {
+	if base == 0 {
+		return
+	}
+	for i := range s.Values {
+		s.Values[i] /= base
+	}
+}
+
+// Format renders the series as a single aligned text row.
+func (s *Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", s.Name)
+	for i := range s.Values {
+		fmt.Fprintf(&b, " %s=%.4g", s.Labels[i], s.Values[i])
+	}
+	return b.String()
+}

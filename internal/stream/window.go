@@ -1,0 +1,61 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// TimedUpdate is a graph update carrying an arrival timestamp — the shape
+// real ingestion pipelines deliver (the paper's Fig 1: updates "constantly
+// arrive and are buffered in batches").
+type TimedUpdate struct {
+	At     float64 // seconds since stream start
+	Update graph.Update
+}
+
+// ByWindow groups timestamped updates into fixed wall-clock windows of
+// width seconds, preserving arrival order inside each window. Empty
+// windows are skipped. This is the time-based alternative to the
+// count-based batches of Build.
+func ByWindow(updates []TimedUpdate, width float64) [][]graph.Update {
+	if len(updates) == 0 || width <= 0 {
+		return nil
+	}
+	sorted := make([]TimedUpdate, len(updates))
+	copy(sorted, updates)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	var out [][]graph.Update
+	start := sorted[0].At
+	var cur []graph.Update
+	for _, u := range sorted {
+		for u.At >= start+width {
+			if len(cur) > 0 {
+				out = append(out, cur)
+				cur = nil
+			}
+			start += width
+		}
+		cur = append(cur, u.Update)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// PoissonArrivals stamps the updates with arrival times drawn from a
+// Poisson process at ratePerSec, deterministic under seed — a synthetic
+// stand-in for ingestion traces (e.g. the paper's ~6,000 tweets/second
+// motivation).
+func PoissonArrivals(updates []graph.Update, ratePerSec float64, seed int64) []TimedUpdate {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TimedUpdate, len(updates))
+	t := 0.0
+	for i, u := range updates {
+		t += rng.ExpFloat64() / ratePerSec
+		out[i] = TimedUpdate{At: t, Update: u}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package stream_test
+
+import (
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stream"
+)
+
+func TestByWindow(t *testing.T) {
+	u := func(src graph.VertexID) graph.Update {
+		return graph.Update{Edge: graph.Edge{Src: src, Dst: src + 1, Weight: 1}}
+	}
+	in := []stream.TimedUpdate{
+		{At: 0.1, Update: u(0)},
+		{At: 0.2, Update: u(1)},
+		{At: 1.3, Update: u(2)},
+		{At: 5.0, Update: u(3)}, // empty windows in between are skipped
+		{At: 5.05, Update: u(4)},
+	}
+	// Windows anchor at the first arrival (0.1): [0.1,1.1) holds two
+	// updates, [1.1,2.1) one, [4.1,5.1) two; the empty windows between
+	// do not appear.
+	batches := stream.ByWindow(in, 1.0)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(batches))
+	}
+	if len(batches[0]) != 2 || len(batches[1]) != 1 || len(batches[2]) != 2 {
+		t.Fatalf("batch sizes: %d %d %d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	if batches[2][0].Edge.Src != 3 {
+		t.Fatal("ordering inside window broken")
+	}
+}
+
+func TestByWindowUnsortedInput(t *testing.T) {
+	u := func(src graph.VertexID) graph.Update {
+		return graph.Update{Edge: graph.Edge{Src: src, Dst: src + 1, Weight: 1}}
+	}
+	in := []stream.TimedUpdate{
+		{At: 2.5, Update: u(1)},
+		{At: 0.5, Update: u(0)},
+	}
+	batches := stream.ByWindow(in, 1.0)
+	if len(batches) != 2 || batches[0][0].Edge.Src != 0 {
+		t.Fatalf("unsorted input mishandled: %+v", batches)
+	}
+}
+
+func TestByWindowEdgeCases(t *testing.T) {
+	if stream.ByWindow(nil, 1) != nil {
+		t.Fatal("nil input should give nil")
+	}
+	if stream.ByWindow([]stream.TimedUpdate{{At: 1}}, 0) != nil {
+		t.Fatal("zero width should give nil")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	updates := make([]graph.Update, 1000)
+	timed := stream.PoissonArrivals(updates, 100, 7)
+	if len(timed) != 1000 {
+		t.Fatalf("len = %d", len(timed))
+	}
+	// Monotone non-decreasing times.
+	for i := 1; i < len(timed); i++ {
+		if timed[i].At < timed[i-1].At {
+			t.Fatal("arrival times not monotone")
+		}
+	}
+	// Mean inter-arrival should be near 1/rate (loose bound).
+	dur := timed[len(timed)-1].At
+	if dur < 5 || dur > 20 {
+		t.Fatalf("1000 events at 100/s spanned %.2fs, want ~10s", dur)
+	}
+	// Determinism.
+	again := stream.PoissonArrivals(updates, 100, 7)
+	if again[500].At != timed[500].At {
+		t.Fatal("seeded arrivals not deterministic")
+	}
+}

@@ -1,0 +1,188 @@
+// Package tracetool analyses memory-access traces produced by the
+// simulator's trace sink (sim.Machine.SetTrace): it computes exact LRU
+// stack (reuse) distances with the classic Mattson/Bennett-Kruskal
+// algorithm (last-access table + Fenwick tree, O(n log n)) and derives
+// the miss-ratio curve — what the trace's miss rate would be at any fully
+// associative LRU cache size. cmd/traceanalyze is the CLI front end.
+package tracetool
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Access is one parsed trace record.
+type Access struct {
+	Core int
+	Op   string // R, W, PR, PW
+	Line uint64
+}
+
+// ParseTrace reads the simulator's trace format: "<core> <op> <hexaddr>".
+func ParseTrace(r io.Reader) ([]Access, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Access
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("tracetool: line %d: want 3 fields, got %q", lineNo, text)
+		}
+		core, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("tracetool: line %d: bad core: %v", lineNo, err)
+		}
+		switch fields[1] {
+		case "R", "W", "PR", "PW":
+		default:
+			return nil, fmt.Errorf("tracetool: line %d: bad op %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tracetool: line %d: bad address: %v", lineNo, err)
+		}
+		out = append(out, Access{Core: core, Op: fields[1], Line: addr})
+	}
+	return out, sc.Err()
+}
+
+// fenwick is a binary indexed tree over access positions.
+type fenwick struct{ tree []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) sum(i int) int { // prefix sum of [0, i]
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// ColdDistance marks a first-touch (compulsory) access in the distance
+// stream.
+const ColdDistance = -1
+
+// StackDistances returns, per access, the number of distinct lines
+// touched since that line's previous access (the LRU stack distance), or
+// ColdDistance for first touches.
+func StackDistances(accesses []Access) []int {
+	n := len(accesses)
+	out := make([]int, n)
+	last := make(map[uint64]int, n/4)
+	fw := newFenwick(n)
+	for i, a := range accesses {
+		if prev, ok := last[a.Line]; ok {
+			// Distinct lines accessed in (prev, i): the marked
+			// positions are each line's most recent access.
+			out[i] = fw.sum(i-1) - fw.sum(prev)
+			fw.add(prev, -1)
+		} else {
+			out[i] = ColdDistance
+		}
+		fw.add(i, 1)
+		last[a.Line] = i
+	}
+	return out
+}
+
+// MissRatioCurve evaluates the trace's LRU miss ratio at each candidate
+// capacity (in lines). Compulsory misses count at every size.
+func MissRatioCurve(distances []int, capacities []int) []float64 {
+	sorted := make([]int, 0, len(distances))
+	cold := 0
+	for _, d := range distances {
+		if d == ColdDistance {
+			cold++
+		} else {
+			sorted = append(sorted, d)
+		}
+	}
+	sort.Ints(sorted)
+	out := make([]float64, len(capacities))
+	total := len(distances)
+	if total == 0 {
+		return out
+	}
+	for i, c := range capacities {
+		// Hits: accesses with stack distance < capacity.
+		hits := sort.SearchInts(sorted, c)
+		out[i] = float64(total-hits) / float64(total)
+	}
+	return out
+}
+
+// Histogram buckets the distances by powers of two; bucket 0 holds
+// compulsory misses, bucket k holds distances in [2^(k-1), 2^k).
+func Histogram(distances []int) []int {
+	var hist []int
+	bump := func(b int) {
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	for _, d := range distances {
+		if d == ColdDistance {
+			bump(0)
+			continue
+		}
+		b := 1
+		for v := d; v > 1; v >>= 1 {
+			b++
+		}
+		bump(b)
+	}
+	return hist
+}
+
+// Summary aggregates a trace: counts per op and per core.
+type Summary struct {
+	Total     int
+	PerOp     map[string]int
+	PerCore   map[int]int
+	Distinct  int
+	ColdShare float64
+}
+
+// Summarise computes the trace summary.
+func Summarise(accesses []Access, distances []int) Summary {
+	s := Summary{
+		Total:   len(accesses),
+		PerOp:   map[string]int{},
+		PerCore: map[int]int{},
+	}
+	lines := map[uint64]struct{}{}
+	for _, a := range accesses {
+		s.PerOp[a.Op]++
+		s.PerCore[a.Core]++
+		lines[a.Line] = struct{}{}
+	}
+	s.Distinct = len(lines)
+	cold := 0
+	for _, d := range distances {
+		if d == ColdDistance {
+			cold++
+		}
+	}
+	if s.Total > 0 {
+		s.ColdShare = float64(cold) / float64(s.Total)
+	}
+	return s
+}

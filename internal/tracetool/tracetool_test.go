@@ -1,0 +1,143 @@
+package tracetool_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tdgraph/tdgraph/internal/tracetool"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := "0 R 0x1000\n3 PW 0x20c0\n\n1 W 40\n"
+	acc, err := tracetool.ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 3 {
+		t.Fatalf("parsed %d records", len(acc))
+	}
+	if acc[0].Line != 0x1000 || acc[1].Core != 3 || acc[1].Op != "PW" || acc[2].Line != 0x40 {
+		t.Fatalf("records wrong: %+v", acc)
+	}
+	for _, bad := range []string{"x R 0x1\n", "0 Q 0x1\n", "0 R zz\n", "0 R\n"} {
+		if _, err := tracetool.ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("bad input %q accepted", bad)
+		}
+	}
+}
+
+func addrs(lines ...uint64) []tracetool.Access {
+	out := make([]tracetool.Access, len(lines))
+	for i, l := range lines {
+		out[i] = tracetool.Access{Op: "R", Line: l}
+	}
+	return out
+}
+
+func TestStackDistances(t *testing.T) {
+	// A B C A B B: A at distance 2 (B, C seen since), first B at cold,
+	// second B re-access distance 2 (C, A), third B distance 0.
+	d := tracetool.StackDistances(addrs(1, 2, 3, 1, 2, 2))
+	want := []int{tracetool.ColdDistance, tracetool.ColdDistance, tracetool.ColdDistance, 2, 2, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", d, want)
+		}
+	}
+}
+
+// TestStackDistancesMatchNaive cross-checks the Fenwick implementation
+// against a brute-force oracle on random traces.
+func TestStackDistancesMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		acc := make([]tracetool.Access, n)
+		for i := range acc {
+			acc[i] = tracetool.Access{Op: "R", Line: uint64(rng.Intn(20))}
+		}
+		got := tracetool.StackDistances(acc)
+		for i := range acc {
+			// Naive: distinct lines since previous access of acc[i].Line.
+			prev := -1
+			for j := i - 1; j >= 0; j-- {
+				if acc[j].Line == acc[i].Line {
+					prev = j
+					break
+				}
+			}
+			want := tracetool.ColdDistance
+			if prev >= 0 {
+				distinct := map[uint64]struct{}{}
+				for j := prev + 1; j < i; j++ {
+					distinct[acc[j].Line] = struct{}{}
+				}
+				want = len(distinct)
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRatioCurve(t *testing.T) {
+	// Cyclic scan of 4 lines, twice: second pass hits only if capacity>=4.
+	acc := addrs(1, 2, 3, 4, 1, 2, 3, 4)
+	d := tracetool.StackDistances(acc)
+	mrc := tracetool.MissRatioCurve(d, []int{1, 3, 4, 100})
+	if mrc[0] != 1.0 {
+		t.Fatalf("capacity 1 miss ratio = %v, want 1", mrc[0])
+	}
+	if mrc[1] != 1.0 {
+		t.Fatalf("capacity 3 miss ratio = %v, want 1 (distance 3 >= 3)", mrc[1])
+	}
+	if mrc[2] != 0.5 || mrc[3] != 0.5 {
+		t.Fatalf("large-capacity miss ratio = %v/%v, want 0.5 (compulsory)", mrc[2], mrc[3])
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(mrc); i++ {
+		if mrc[i] > mrc[i-1] {
+			t.Fatal("MRC not monotone")
+		}
+	}
+}
+
+func TestHistogramAndSummary(t *testing.T) {
+	acc := addrs(1, 2, 1, 2, 1)
+	d := tracetool.StackDistances(acc)
+	h := tracetool.Histogram(d)
+	if h[0] != 2 { // two compulsory
+		t.Fatalf("hist = %v", h)
+	}
+	s := tracetool.Summarise(acc, d)
+	if s.Total != 5 || s.Distinct != 2 || s.PerOp["R"] != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ColdShare != 0.4 {
+		t.Fatalf("cold share = %v", s.ColdShare)
+	}
+}
+
+func TestEndToEndWithFormattedTrace(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "%d R %#x\n", i%4, uint64(i%10)*64)
+	}
+	acc, err := tracetool.ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tracetool.StackDistances(acc)
+	mrc := tracetool.MissRatioCurve(d, []int{16})
+	if mrc[0] != 0.1 { // 10 compulsory of 100
+		t.Fatalf("mrc at 16 lines = %v, want 0.1", mrc[0])
+	}
+}

@@ -1,0 +1,215 @@
+// Package tdgraph is the public API of the TDGraph streaming-graph
+// library: incremental graph algorithms over batched edge updates, the
+// topology-driven processing engine of Zhao et al. (ISCA 2022), native
+// parallel execution, and the architectural simulator behind the paper's
+// evaluation.
+//
+// The central type is Session: it owns a mutable graph, keeps the
+// algorithm's states converged across update batches, and processes each
+// batch incrementally:
+//
+//	s, _ := tdgraph.NewSession(tdgraph.NewSSSP(0), edges, numVertices, tdgraph.SessionOptions{})
+//	res, _ := s.ApplyBatch([]tdgraph.Update{{Edge: tdgraph.Edge{Src: 1, Dst: 2, Weight: 3}}})
+//	dist := s.State(2)
+//
+// Lower-level building blocks (generators, the simulator, the benchmark
+// harness, the individual engine models) live in the internal packages
+// and are exercised through cmd/ and the examples.
+package tdgraph
+
+import (
+	"fmt"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/native"
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// Re-exported graph types.
+type (
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Edge is a weighted directed edge.
+	Edge = graph.Edge
+	// Update is one streaming update: an edge addition or deletion.
+	Update = graph.Update
+	// ApplyResult describes what a batch changed.
+	ApplyResult = graph.ApplyResult
+	// Snapshot is an immutable CSR/CSC graph snapshot.
+	Snapshot = graph.Snapshot
+	// Algorithm is the algorithm interface (see NewSSSP etc.).
+	Algorithm = algo.Algorithm
+)
+
+// Algorithm constructors.
+var (
+	// NewSSSP returns single-source shortest paths from a root.
+	NewSSSP = algo.NewSSSP
+	// NewBFS returns hop counting from a root.
+	NewBFS = algo.NewBFS
+	// NewSSWP returns single-source widest path from a root.
+	NewSSWP = algo.NewSSWP
+	// NewCC returns connected-component labelling (min label over
+	// ancestors; symmetrise the edge list for weakly-connected
+	// components).
+	NewCC = algo.NewCC
+	// NewPageRank returns incremental PageRank.
+	NewPageRank = algo.NewPageRank
+	// NewAdsorption returns the Adsorption label-propagation algorithm.
+	NewAdsorption = algo.NewAdsorption
+	// LoadSNAPFile parses a SNAP-format edge list from disk.
+	LoadSNAPFile = graph.LoadSNAPFile
+)
+
+// EngineKind selects how a Session processes batches.
+type EngineKind int
+
+const (
+	// EngineTopologyDriven is the paper's contribution: topology-driven
+	// incremental processing (TDGraph). Functional execution — no
+	// architectural simulation — using the same algorithm as the
+	// simulated TDGraph-H.
+	EngineTopologyDriven EngineKind = iota
+	// EngineBaseline is the frontier-synchronous incremental engine
+	// (the Ligra-o discipline).
+	EngineBaseline
+	// EngineNativeParallel runs the real goroutine-parallel engines
+	// (lock-free CAS states) — the fastest wall-clock option. Monotonic
+	// algorithms use the topology-driven engine, accumulative ones the
+	// parallel delta engine.
+	EngineNativeParallel
+)
+
+// SessionOptions configures a Session.
+type SessionOptions struct {
+	// Engine selects the processing discipline (default
+	// EngineTopologyDriven).
+	Engine EngineKind
+	// Cores is the logical partition width for the functional engines
+	// and the worker count for the native engine (default: 8 for
+	// functional, GOMAXPROCS for native).
+	Cores int
+	// Simulate attaches the scaled Table 1 machine so per-batch
+	// Metrics include cycle counts and memory-system counters.
+	// (Simulation is orders of magnitude slower than functional mode.)
+	Simulate bool
+}
+
+// Session maintains a streaming graph and its converged algorithm states
+// across batches.
+type Session struct {
+	opt   SessionOptions
+	a     algo.Algorithm
+	b     *graph.Builder
+	snap  *graph.Snapshot
+	state []float64
+
+	lastMetrics *stats.Collector
+	lastCycles  float64
+}
+
+// NewSession builds the initial graph from edges (nil for an empty graph
+// over numVertices vertices) and converges the algorithm on it.
+func NewSession(a Algorithm, edges []Edge, numVertices int, opt SessionOptions) (*Session, error) {
+	if a == nil {
+		return nil, fmt.Errorf("tdgraph: nil algorithm")
+	}
+	if opt.Cores <= 0 {
+		opt.Cores = 8
+	}
+	if opt.Engine == EngineNativeParallel && opt.Simulate {
+		return nil, fmt.Errorf("tdgraph: the native parallel engine cannot be simulated")
+	}
+	b := graph.NewBuilderFromEdges(numVertices, edges)
+	snap := b.Snapshot()
+	s := &Session{opt: opt, a: a, b: b, snap: snap}
+	s.state = algo.Reference(a, snap)
+	return s, nil
+}
+
+// NumVertices returns the current vertex count (batches referencing new
+// vertex IDs grow it).
+func (s *Session) NumVertices() int { return s.b.NumVertices() }
+
+// NumEdges returns the current edge count.
+func (s *Session) NumEdges() int { return s.b.NumEdges() }
+
+// State returns v's converged state (e.g. its distance, label, or rank).
+func (s *Session) State(v VertexID) float64 { return s.state[v] }
+
+// States returns the full converged state vector. The slice aliases the
+// session and is invalidated by the next ApplyBatch.
+func (s *Session) States() []float64 { return s.state }
+
+// Graph returns the current immutable snapshot.
+func (s *Session) Graph() *Snapshot { return s.snap }
+
+// Metrics returns the metric collector of the last ApplyBatch (nil before
+// the first batch). Simulated sessions additionally expose cycle counts
+// via LastCycles.
+func (s *Session) Metrics() *stats.Collector { return s.lastMetrics }
+
+// LastCycles returns the simulated cycle count of the last batch (zero in
+// functional mode).
+func (s *Session) LastCycles() float64 { return s.lastCycles }
+
+// ApplyBatch applies the updates to the graph and incrementally repairs
+// the algorithm states. It returns what the batch changed.
+func (s *Session) ApplyBatch(batch []Update) (ApplyResult, error) {
+	oldG := s.snap
+	res := s.b.Apply(batch)
+	newG := s.b.Snapshot()
+
+	if s.opt.Engine == EngineNativeParallel {
+		cfg := native.Config{Workers: s.opt.Cores}
+		switch alg := s.a.(type) {
+		case algo.MonotonicAlgo:
+			s.state = native.TopologyDriven(alg, oldG, newG, s.state, res, cfg)
+		case algo.AccumulativeAlgo:
+			s.state = native.Accumulative(alg, oldG, newG, s.state, res, cfg)
+		}
+		s.snap = newG
+		return res, nil
+	}
+
+	col := stats.NewCollector()
+	var m *sim.Machine
+	ropt := engine.Options{Cores: s.opt.Cores, Collector: col}
+	if s.opt.Simulate {
+		cfg := sim.ScaledConfig()
+		if s.opt.Cores <= cfg.Cores {
+			cfg.Cores = s.opt.Cores
+		}
+		m = sim.New(cfg)
+		ropt.Machine = m
+		ropt.Layout = engine.LayoutOptions{TDGraph: s.opt.Engine == EngineTopologyDriven, Alpha: 0.005}
+	}
+	rt := engine.NewRuntime(s.a, oldG, newG, s.state, ropt)
+	var sys engine.System
+	switch s.opt.Engine {
+	case EngineBaseline:
+		sys = engine.NewBaseline(engine.LigraO(), rt)
+	default:
+		sys = core.New(core.DefaultConfig(), rt)
+	}
+	sys.Process(res)
+	s.state = rt.S
+	s.snap = newG
+	s.lastMetrics = col
+	if m != nil {
+		s.lastCycles = m.Time()
+	}
+	return res, nil
+}
+
+// Recompute converges the algorithm from scratch on the current snapshot
+// and replaces the session states — useful to bound accumulated
+// floating-point drift on very long accumulative streams, and in tests
+// as the oracle.
+func (s *Session) Recompute() {
+	s.state = algo.Reference(s.a, s.snap)
+}
