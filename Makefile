@@ -1,0 +1,35 @@
+# Build and verification entry points. `make check` is the gate every
+# change must pass: clean build, vet, and the full test suite under the
+# race detector (the phase-merged machine backend fans out across host
+# goroutines, so races are correctness bugs here, not just hygiene).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench benchsim clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Paper-figure benchmark sweep (see bench_test.go for the cell list).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Harness self-timing: inline vs phase-merged backends -> BENCH_sim.json.
+benchsim:
+	$(GO) run ./cmd/tdgraph-bench -simjson BENCH_sim.json
+
+clean:
+	$(GO) clean ./...

@@ -4,8 +4,15 @@
 // Usage:
 //
 //	tdgraph-bench -list
-//	tdgraph-bench -exp fig10 [-scale 0.25] [-datasets LJ,OR] [-algos sssp] [-cores 64] [-seed 1]
+//	tdgraph-bench -exp fig10 [-scale 0.25] [-datasets LJ,OR] [-algos sssp] [-cores 64] [-seed 1] [-hostpar 8]
 //	tdgraph-bench -exp all
+//	tdgraph-bench -simjson BENCH_sim.json [-scale 0.06]
+//
+// -hostpar N runs every simulated cell on the phase-merged machine
+// backend with N host replay workers (0 = classic inline backend);
+// simulated results are bit-identical for every N >= 1. -simjson measures
+// the harness itself — inline vs phase-merged wall-clock on the Fig 10
+// SSSP cell — and writes the comparison to the given JSON file.
 package main
 
 import (
@@ -28,6 +35,8 @@ func main() {
 		cores    = flag.Int("cores", 64, "simulated core count")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		hostpar  = flag.Int("hostpar", 0, "machine execution backend: 0 = inline, N>=1 = phase-merged with N host replay workers")
+		simjson  = flag.String("simjson", "", "measure harness wall-clock (inline vs phase-merged) and write BENCH_sim.json to this path")
 	)
 	flag.Parse()
 
@@ -37,16 +46,43 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "tdgraph-bench: -exp required (use -list to see experiments)")
-		os.Exit(2)
-	}
-	opt := bench.Options{Scale: *scale, Cores: *cores, Seed: *seed, CSV: *csvOut}
+	opt := bench.Options{Scale: *scale, Cores: *cores, Seed: *seed, CSV: *csvOut, HostParallelism: *hostpar}
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")
 	}
 	if *algos != "" {
 		opt.Algos = strings.Split(*algos, ",")
+	}
+
+	if *simjson != "" {
+		start := time.Now()
+		rep, err := bench.RunHostParReport(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: simjson: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*simjson)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s in %s (hostpar8 vs serial: %.2fx, vs inline: %.2fx, identical: %v)\n",
+			*simjson, time.Since(start).Round(time.Millisecond),
+			rep.SpeedupParallelVsSerial, rep.SpeedupVsInline, rep.Deterministic)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tdgraph-bench: -exp required (use -list to see experiments)")
+		os.Exit(2)
 	}
 
 	run := func(e bench.Experiment) {

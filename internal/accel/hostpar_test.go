@@ -1,0 +1,63 @@
+package accel_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/accel"
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+)
+
+// jetstreamRun drives the JetStream accelerator model on a machine with
+// the given HostParallelism and returns (cycles, DRAM bytes, final
+// states). JetStream exercises the deferred path hardest among the
+// accelerators: it allocates and marks its own event-queue regions on
+// top of the standard layout.
+func jetstreamRun(t *testing.T, hostPar int) (float64, uint64, []float64) {
+	t.Helper()
+	c, err := enginetest.Make("sssp", enginetest.Config{
+		Vertices: 1200, Degree: 5, BatchSize: 150, AddFraction: 0.6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.ScaledConfig()
+	cfg.Cores = 8
+	cfg.HostParallelism = hostPar
+	m := sim.New(cfg)
+	sys := accel.NewJetStream(c.NewRuntime(engine.Options{Machine: m, Cores: 8}), false)
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	return m.Time(), m.DRAM().BytesMoved, sys.Runtime().S
+}
+
+// TestJetStreamHostParDeterminism: for the accelerator engine family,
+// serial (HostParallelism=1) and parallel phase-merged runs must agree
+// bit-for-bit on cycle counts, DRAM traffic, and final vertex states.
+func TestJetStreamHostParDeterminism(t *testing.T) {
+	// Raise GOMAXPROCS so the phase-merged fan-out (capped at
+	// GOMAXPROCS) actually runs concurrently on single-CPU hosts.
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	sc, sb, ss := jetstreamRun(t, 1)
+	pc, pb, ps := jetstreamRun(t, 8)
+	if sc != pc {
+		t.Errorf("cycles: serial %v != parallel %v", sc, pc)
+	}
+	if sb != pb {
+		t.Errorf("DRAM bytes: serial %d != parallel %d", sb, pb)
+	}
+	if i := algo.StatesEqual(ss, ps, 0); i >= 0 {
+		t.Errorf("states differ at vertex %d", i)
+	}
+	_, _, is := jetstreamRun(t, 0)
+	if i := algo.StatesEqual(is, ps, 0); i >= 0 {
+		t.Errorf("parallel backend changed functional states at vertex %d", i)
+	}
+}

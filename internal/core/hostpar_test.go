@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/core"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+)
+
+// tdgraphRun drives the full TDGraph-H model (TDTU + VSCU) on a machine
+// with the given HostParallelism and returns (cycles, DRAM bytes,
+// invalidations, final states).
+func tdgraphRun(t *testing.T, algoName string, hostPar int) (float64, uint64, uint64, []float64) {
+	t.Helper()
+	c, err := enginetest.Make(algoName, enginetest.Config{
+		Vertices: 1200, Degree: 5, BatchSize: 150, AddFraction: 0.6, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.ScaledConfig()
+	cfg.Cores = 8
+	cfg.HostParallelism = hostPar
+	m := sim.New(cfg)
+	rt := c.NewRuntime(engine.Options{
+		Machine: m,
+		Cores:   8,
+		Layout:  engine.LayoutOptions{TDGraph: true, Alpha: 0.005},
+	})
+	sys := core.New(core.DefaultConfig(), rt)
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	return m.Time(), m.DRAM().BytesMoved, m.Invalidations(), sys.Runtime().S
+}
+
+// TestTDGraphHostParDeterminism: for the TDGraph-H engine family, serial
+// (HostParallelism=1) and parallel phase-merged runs must agree
+// bit-for-bit on cycle counts, DRAM traffic, coherence activity, and
+// final vertex states.
+func TestTDGraphHostParDeterminism(t *testing.T) {
+	// Raise GOMAXPROCS so the phase-merged fan-out (capped at
+	// GOMAXPROCS) actually runs concurrently on single-CPU hosts.
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, algoName := range []string{"sssp", "pagerank"} {
+		t.Run(algoName, func(t *testing.T) {
+			sc, sb, si, ss := tdgraphRun(t, algoName, 1)
+			pc, pb, pi, ps := tdgraphRun(t, algoName, 8)
+			if sc != pc {
+				t.Errorf("cycles: serial %v != parallel %v", sc, pc)
+			}
+			if sb != pb {
+				t.Errorf("DRAM bytes: serial %d != parallel %d", sb, pb)
+			}
+			if si != pi {
+				t.Errorf("invalidations: serial %d != parallel %d", si, pi)
+			}
+			if i := algo.StatesEqual(ss, ps, 0); i >= 0 {
+				t.Errorf("states differ at vertex %d", i)
+			}
+			_, _, _, is := tdgraphRun(t, algoName, 0)
+			if i := algo.StatesEqual(is, ps, 0); i >= 0 {
+				t.Errorf("parallel backend changed functional states at vertex %d", i)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package engine_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/engine"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/sim"
+)
+
+// baselineRun drives the Ligra-o baseline on a simulated machine with the
+// given HostParallelism and returns (cycles, DRAM bytes, final states).
+func baselineRun(t *testing.T, algoName string, hostPar int) (float64, uint64, []float64) {
+	t.Helper()
+	c, err := enginetest.Make(algoName, enginetest.Config{
+		Vertices: 1200, Degree: 5, BatchSize: 150, AddFraction: 0.6, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.ScaledConfig()
+	cfg.Cores = 8
+	cfg.HostParallelism = hostPar
+	m := sim.New(cfg)
+	sys := engine.NewBaseline(engine.LigraO(), c.NewRuntime(engine.Options{Machine: m, Cores: 8}))
+	sys.Process(c.Res)
+	if err := c.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	return m.Time(), m.DRAM().BytesMoved, sys.Runtime().S
+}
+
+// TestBaselineHostParDeterminism: for the software-baseline engine
+// family, serial (HostParallelism=1) and parallel phase-merged runs must
+// agree bit-for-bit on cycle counts, DRAM traffic, and final vertex
+// states — and the states must also match the inline backend's, since
+// the machine is a pure observer.
+func TestBaselineHostParDeterminism(t *testing.T) {
+	// Raise GOMAXPROCS so the phase-merged fan-out (capped at
+	// GOMAXPROCS) actually runs concurrently on single-CPU hosts.
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, algoName := range []string{"sssp", "pagerank"} {
+		t.Run(algoName, func(t *testing.T) {
+			serialCycles, serialBytes, serialStates := baselineRun(t, algoName, 1)
+			parCycles, parBytes, parStates := baselineRun(t, algoName, 8)
+			if serialCycles != parCycles {
+				t.Errorf("cycles: serial %v != parallel %v", serialCycles, parCycles)
+			}
+			if serialBytes != parBytes {
+				t.Errorf("DRAM bytes: serial %d != parallel %d", serialBytes, parBytes)
+			}
+			if i := algo.StatesEqual(serialStates, parStates, 0); i >= 0 {
+				t.Errorf("states differ at vertex %d", i)
+			}
+			_, _, inlineStates := baselineRun(t, algoName, 0)
+			if i := algo.StatesEqual(inlineStates, parStates, 0); i >= 0 {
+				t.Errorf("parallel backend changed functional states at vertex %d", i)
+			}
+		})
+	}
+}

@@ -55,6 +55,12 @@ type Core struct {
 	stallCycles   float64
 	phase         Phase
 	phaseCycles   [numPhases]float64
+
+	// rec and evs are the phase-merged backend's per-core event logs:
+	// rec holds this core's line accesses since the last drain, evs the
+	// shared-level events its private replay emitted (see parallel.go).
+	rec []accessRec
+	evs []sharedEv
 }
 
 var _ Port = (*Core)(nil)
@@ -105,6 +111,10 @@ func (c *Core) access(addr uint64, size int, write, stall bool) {
 	}
 	first := cache.LineAddr(addr)
 	last := cache.LineAddr(addr + uint64(size) - 1)
+	if c.m.hostPar > 0 {
+		c.logAccess(addr, first, last, write, stall)
+		return
+	}
 	for la := first; la <= last; la += cache.LineSize {
 		wordIdx := 0
 		if la == first {
@@ -116,11 +126,12 @@ func (c *Core) access(addr uint64, size int, write, stall bool) {
 
 // accessLine walks one line through L1 → L2 → LLC → DRAM, maintaining the
 // inclusion, directory, and usefulness structures, and charges the core
-// for the resulting stall when requested.
+// for the resulting stall when requested. This is the inline backend
+// (HostParallelism == 0); parallel.go replays the same walk in phases.
 func (m *Machine) accessLine(c *Core, la uint64, wordIdx int, write, stall bool) {
 	tracked := m.isTracked(la)
 	hint := m.hintFor(la)
-	coherent := m.isCoherent(la)
+	dir := m.dirEntry(la)
 
 	m.traceAccess(c.id, la, write, stall)
 	var lat uint64
@@ -148,37 +159,21 @@ func (m *Machine) accessLine(c *Core, la uint64, wordIdx int, write, stall bool)
 			if !r3.Hit {
 				lat += m.dram.Access(la, false, cache.LineSize)
 				if tracked {
-					if _, ok := m.useTable[la]; !ok {
-						m.useTable[la] = 0
-					}
+					m.useInsert(la)
 				}
 			}
-			if coherent {
-				m.directory[la] |= 1 << uint(c.id)
+			if dir != nil {
+				*dir |= 1 << uint(c.id)
 			}
 		}
 	}
 
-	if write && coherent {
-		others := m.directory[la] &^ (1 << uint(c.id))
-		if others != 0 {
-			for i := 0; others != 0; i++ {
-				if others&1 != 0 {
-					peer := m.cores[i]
-					peer.l1.Invalidate(la)
-					peer.l2.Invalidate(la)
-					m.invalidations++
-				}
-				others >>= 1
-			}
-		}
-		m.directory[la] = 1 << uint(c.id)
+	if write && dir != nil {
+		m.invalidatePeers(c.id, la, dir)
 	}
 
 	if tracked {
-		if used, ok := m.useTable[la]; ok {
-			m.useTable[la] = used | 1<<uint(wordIdx)
-		}
+		m.useMark(la, wordIdx)
 	}
 
 	if stall && lat > 0 {
@@ -189,15 +184,29 @@ func (m *Machine) accessLine(c *Core, la uint64, wordIdx int, write, stall bool)
 	}
 }
 
+// invalidatePeers performs the directory side of a coherent write: every
+// other core holding the line drops its private copies, and the writer
+// becomes the sole owner.
+func (m *Machine) invalidatePeers(writer int, la uint64, dir *uint64) {
+	others := *dir &^ (1 << uint(writer))
+	for i := 0; others != 0; i++ {
+		if others&1 != 0 {
+			peer := m.cores[i]
+			peer.l1.Invalidate(la)
+			peer.l2.Invalidate(la)
+			m.invalidations++
+		}
+		others >>= 1
+	}
+	*dir = 1 << uint(writer)
+}
+
 // onPrivateEvict handles an L2 victim: enforce L1 inclusion, clear the
 // directory presence bit, and propagate dirtiness into the LLC copy.
 func (m *Machine) onPrivateEvict(c *Core, ev *cache.Eviction) {
 	c.l1.Invalidate(ev.LineAddr)
-	if m.isCoherent(ev.LineAddr) {
-		m.directory[ev.LineAddr] &^= 1 << uint(c.id)
-		if m.directory[ev.LineAddr] == 0 {
-			delete(m.directory, ev.LineAddr)
-		}
+	if d := m.dirEntry(ev.LineAddr); d != nil {
+		*d &^= 1 << uint(c.id)
 	}
 	if ev.Dirty {
 		m.llc.SetDirty(ev.LineAddr)
@@ -210,23 +219,18 @@ func (m *Machine) onLLCEvict(ev *cache.Eviction) {
 	if ev.Dirty {
 		m.dram.Access(ev.LineAddr, true, cache.LineSize)
 	}
-	if m.isCoherent(ev.LineAddr) {
-		if mask, ok := m.directory[ev.LineAddr]; ok {
-			for i := 0; mask != 0; i++ {
-				if mask&1 != 0 {
-					m.cores[i].l1.Invalidate(ev.LineAddr)
-					m.cores[i].l2.Invalidate(ev.LineAddr)
-				}
-				mask >>= 1
+	if d := m.dirEntry(ev.LineAddr); d != nil {
+		mask := *d
+		for i := 0; mask != 0; i++ {
+			if mask&1 != 0 {
+				m.cores[i].l1.Invalidate(ev.LineAddr)
+				m.cores[i].l2.Invalidate(ev.LineAddr)
 			}
-			delete(m.directory, ev.LineAddr)
+			mask >>= 1
 		}
+		*d = 0
 	}
-	if used, ok := m.useTable[ev.LineAddr]; ok {
-		m.stateFetched += cache.WordsPerLine
-		m.stateUsed += uint64(onesCount16(used))
-		delete(m.useTable, ev.LineAddr)
-	}
+	m.useEvict(ev.LineAddr)
 }
 
 // NullPort is a Port that models nothing — used for native wall-clock

@@ -1,0 +1,215 @@
+package sim_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// forceFanOut raises GOMAXPROCS for the test so the phase-merged replay
+// genuinely spawns concurrent workers even on a single-CPU host (the
+// machine caps its fan-out at GOMAXPROCS); without this, race-detector
+// runs on 1-CPU CI would never execute the concurrent path.
+func forceFanOut(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// runWorkload drives a mixed workload — coherent, tracked, and hot
+// regions, reads/writes/prefetches from all cores, periodic barriers —
+// against a machine with the given HostParallelism, and returns the full
+// counter set plus the final time.
+func runWorkload(t *testing.T, hostPar int, trace *bytes.Buffer) (*stats.Collector, float64) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 8
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeKB = 256
+	cfg.HostParallelism = hostPar
+	m := sim.New(cfg)
+	if trace != nil {
+		m.SetTrace(trace)
+	}
+	states := m.Alloc("states", 1<<20)
+	edges := m.Alloc("edges", 4<<20)
+	hot := m.Alloc("hot", 1<<14)
+	m.TrackUseful(states)
+	m.MarkCoherent(states)
+	m.MarkCoherent(hot)
+	m.MarkHot(hot)
+
+	x := uint64(98765)
+	rnd := func(mod uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 33) % mod
+	}
+	for step := 0; step < 20; step++ {
+		for i := 0; i < 2000; i++ {
+			c := m.Core(int(rnd(uint64(cfg.Cores))))
+			switch rnd(5) {
+			case 0:
+				c.Write(states.Base+rnd(states.Size), 4)
+			case 1:
+				c.Read(states.Base+rnd(states.Size), 4)
+			case 2:
+				c.Read(edges.Base+rnd(edges.Size), 16) // may span lines
+			case 3:
+				c.Prefetch(edges.Base+rnd(edges.Size), 64)
+			case 4:
+				if rnd(2) == 0 {
+					c.Write(hot.Base+rnd(hot.Size), 8)
+				} else {
+					c.Read(hot.Base+rnd(hot.Size), 4)
+				}
+			}
+			if i%97 == 0 {
+				c.SetPhase(sim.Phase(rnd(2)))
+			}
+			if i%13 == 0 {
+				c.Compute(int(rnd(8)))
+			}
+		}
+		m.Barrier()
+	}
+	m.Finish()
+	col := stats.NewCollector()
+	m.CollectInto(col)
+	return col, m.Time()
+}
+
+// TestHostParDeterminism: the phase-merged backend must produce
+// bit-identical results for every worker count — the ISSUE's core
+// acceptance requirement — and repeated runs at the same setting must be
+// identical too.
+func TestHostParDeterminism(t *testing.T) {
+	forceFanOut(t)
+	ref, refTime := runWorkload(t, 1, nil)
+	for _, hp := range []int{2, 4, 8, 16} {
+		got, gotTime := runWorkload(t, hp, nil)
+		if gotTime != refTime {
+			t.Errorf("hostpar=%d: time %v != serial %v", hp, gotTime, refTime)
+		}
+		compareCounters(t, ref, got, hp)
+	}
+	again, againTime := runWorkload(t, 1, nil)
+	if againTime != refTime {
+		t.Errorf("repeated serial run: time %v != %v", againTime, refTime)
+	}
+	compareCounters(t, ref, again, 1)
+}
+
+// TestHostParTraceDeterministic: the deferred trace (canonical core
+// order) must not depend on the worker count.
+func TestHostParTraceDeterministic(t *testing.T) {
+	forceFanOut(t)
+	var a, b bytes.Buffer
+	runWorkload(t, 1, &a)
+	runWorkload(t, 4, &b)
+	if a.Len() == 0 {
+		t.Fatal("no trace produced")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace differs between hostpar=1 and hostpar=4")
+	}
+}
+
+// TestHostParCountersConserved: the phase-merged backend must satisfy the
+// same conservation law as the inline one (every DRAM read is an LLC
+// miss; bytes are 64 per transfer).
+func TestHostParCountersConserved(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	cfg.HostParallelism = 4
+	m := sim.New(cfg)
+	r := m.Alloc("d", 8<<20)
+	m.MarkCoherent(r)
+	x := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := r.Base + (x>>33)%(8<<20)
+		core := m.Core(int(x>>63) & 1)
+		if x&3 == 0 {
+			core.Write(addr, 4)
+		} else {
+			core.Read(addr, 4)
+		}
+		if i%10000 == 0 {
+			m.Barrier()
+		}
+	}
+	m.Finish()
+	if m.DRAM().Reads != m.LLC().Misses {
+		t.Fatalf("DRAM reads %d != LLC misses %d", m.DRAM().Reads, m.LLC().Misses)
+	}
+	if got, want := m.DRAM().BytesMoved, (m.DRAM().Reads+m.DRAM().Writes)*64; got != want {
+		t.Fatalf("bytes %d != 64*(reads+writes) %d", got, want)
+	}
+}
+
+// TestHostParUsefulness: word-usefulness accounting must work identically
+// through the deferred path (mirrors TestUsefulnessTracking).
+func TestHostParUsefulness(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.L1SizeKB = 8
+	cfg.L2SizeKB = 32
+	cfg.LLCSizeMB = 1
+	cfg.HostParallelism = 2
+	m := sim.New(cfg)
+	r := m.Alloc("states", 1<<12)
+	m.TrackUseful(r)
+	c := m.Core(0)
+	c.Read(r.Base, 4)    // word 0
+	c.Read(r.Base+4, 4)  // word 1, same line
+	c.Read(r.Base+64, 4) // second line, word 0
+	m.Finish()
+	fetched, used := m.StateUsefulness()
+	if fetched != 32 {
+		t.Fatalf("fetched words = %d, want 32 (two lines)", fetched)
+	}
+	if used != 3 {
+		t.Fatalf("used words = %d, want 3", used)
+	}
+}
+
+// TestInlineShardEquivalence: the array-sharded directory/usefulness
+// structures must leave the inline backend's results unchanged — the
+// satellite requirement that the map replacement is behaviour-preserving
+// is locked in by the untouched seed tests; this adds a direct
+// inline-vs-inline reproducibility check over the mixed workload.
+func TestInlineShardEquivalence(t *testing.T) {
+	a, at := runWorkload(t, 0, nil)
+	b, bt := runWorkload(t, 0, nil)
+	if at != bt {
+		t.Errorf("inline backend not reproducible: %v vs %v", at, bt)
+	}
+	compareCounters(t, a, b, 0)
+}
+
+func compareCounters(t *testing.T, want, got *stats.Collector, hp int) {
+	t.Helper()
+	for _, ctr := range []string{
+		stats.CtrL1Hits, stats.CtrL1Misses,
+		stats.CtrL2Hits, stats.CtrL2Misses,
+		stats.CtrLLCHits, stats.CtrLLCMisses,
+		stats.CtrDRAMReads, stats.CtrDRAMWrites, stats.CtrDRAMBytes,
+		stats.CtrNoCFlits, stats.CtrNoCHops,
+		stats.CtrInvalidations, stats.CtrWritebacks,
+		stats.CtrTLBHits, stats.CtrTLBMisses,
+		stats.CtrStateWordsFetched, stats.CtrStateWordsUsed,
+		stats.CtrCyclesCompute, stats.CtrCyclesMemStall,
+		stats.CtrCyclesPropagate, stats.CtrCyclesOther,
+		stats.CtrCyclesTotal,
+	} {
+		if w, g := want.Get(ctr), got.Get(ctr); w != g {
+			t.Errorf("hostpar=%d: counter %s = %d, want %d", hp, ctr, g, w)
+		}
+	}
+}

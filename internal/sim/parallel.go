@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tdgraph/tdgraph/internal/sim/cache"
+)
+
+// This file implements the phase-merged execution backend selected by
+// Config.HostParallelism >= 1.
+//
+// Engines drive Ports from one goroutine, but in this backend an access
+// does not walk the hierarchy immediately: it is appended to the issuing
+// core's private log (accessRec). At the next Barrier the machine drains
+// the logs in three phases:
+//
+//	Phase 1 (parallel, per core): replay each core's log against its own
+//	TLB/L1/L2. Cores share nothing at this level, so the replay fans out
+//	across min(HostParallelism, Cores) host workers. Accesses that need
+//	the shared levels (L2 misses, L2 evictions, coherent writes, tracked
+//	touches) emit sharedEv entries into the core's event list.
+//
+//	Phase 2 (serial): replay every core's shared events against the
+//	mesh, LLC, DRAM, directory, and usefulness shards in canonical core
+//	order (core 0's events first, each core's in issue order). Shared-
+//	level latencies are written back into the originating records.
+//
+//	Phase 3 (parallel, per core): fold each record's accumulated latency
+//	into the core's cycle counters, in log order.
+//
+// Determinism: phase 1 touches only per-core state, phase 2 is always
+// serial in a fixed order, and phase 3 is again per-core, so the host
+// worker count cannot influence any simulated number — HostParallelism=1
+// and =N are bit-identical by construction. Relative to the inline
+// backend the semantics are relaxed in one documented way: coherence
+// invalidations and inclusive back-invalidations land at the barrier
+// instead of at the triggering access, so private-cache contents between
+// those two points can differ. Both backends remain deterministic and
+// converge on identical functional behaviour.
+
+// accessRec is one logged line-granular access run: the line address,
+// the latency accumulated for it during replay, and packed metadata.
+//
+// A run coalesces consecutive accesses by one core to one line with
+// identical flags (write/stall/phase). Coalescing is exact, not an
+// approximation: in this model an L1 same-line re-hit contributes zero
+// latency, so the 2nd..nth access of a run affect only hit counters,
+// LRU timestamps, and the touched-word set — all reproduced from the
+// run's repeat count and word mask during replay.
+type accessRec struct {
+	la   uint64
+	lat  uint32
+	meta uint32
+}
+
+const (
+	recWordMask   = 0xFFFF  // bits 0-15: mask of words touched in the line
+	recWrite      = 1 << 16 // store (vs load)
+	recStall      = 1 << 17 // demand access (vs engine prefetch)
+	recPhaseShift = 18      // bits 18-19: Phase at issue time
+	recCountShift = 20      // bits 20-31: run repeat count
+	recCountMax   = 1<<12 - 1
+	recFlagBits   = recWrite | recStall | 3<<recPhaseShift
+)
+
+// sharedEv is one shared-level event emitted by private replay. rec
+// indexes the originating record in the core's log, or is -1 for an L2
+// eviction (which has no record of its own).
+type sharedEv struct {
+	la   uint64
+	rec  int32
+	kind uint8
+}
+
+const (
+	evL2Evict  = 1 << 0 // L2 victim: directory clear + LLC dirty propagate
+	evDirty    = 1 << 1 // the L2 victim was dirty
+	evFill     = 1 << 2 // L2 miss: mesh + LLC (+ DRAM) fill
+	evCohWrite = 1 << 3 // write to a coherent line: peer invalidation
+	evTrack    = 1 << 4 // access inside a tracked region: usefulness mark
+)
+
+// logAccess appends the line-expanded access to the core's log (the
+// phase-merged twin of the inline loop in access()), extending the
+// previous record's run when the line and flags match.
+func (c *Core) logAccess(addr, first, last uint64, write, stall bool) {
+	flags := uint32(c.phase) << recPhaseShift
+	if write {
+		flags |= recWrite
+	}
+	if stall {
+		flags |= recStall
+	}
+	for la := first; la <= last; la += cache.LineSize {
+		// Continuation lines of a multi-line access touch word 0,
+		// matching the inline backend's word accounting.
+		wb := uint32(1)
+		if la == first {
+			wb = 1 << uint(cache.WordIndex(addr))
+		}
+		if n := len(c.rec); n > 0 {
+			r := &c.rec[n-1]
+			if r.la == la && r.meta&recFlagBits == flags && r.meta>>recCountShift < recCountMax {
+				r.meta |= wb
+				r.meta += 1 << recCountShift
+				continue
+			}
+		}
+		c.rec = append(c.rec, accessRec{la: la, meta: flags | wb | 1<<recCountShift})
+	}
+}
+
+// drain replays all pending logs. It is a no-op for the inline backend
+// and when nothing is logged, and is called from Barrier and from every
+// operation that changes replay-relevant configuration (region marks,
+// trace attachment).
+func (m *Machine) drain() {
+	if m.hostPar == 0 {
+		return
+	}
+	pending := false
+	for _, c := range m.cores {
+		if len(c.rec) > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	m.runPerCore(func(c *Core) { c.replayPrivate() })
+	m.replayShared()
+	if m.trace != nil {
+		m.traceDrain()
+	}
+	mlp := m.cfg.MLP
+	m.runPerCore(func(c *Core) { c.applyStalls(mlp) })
+}
+
+// runPerCore applies f to every core, fanning out across the configured
+// host workers. Cores are claimed via an atomic counter; since f touches
+// only the claimed core's state, the claim order is irrelevant to the
+// result. The fan-out is capped at GOMAXPROCS — extra goroutines cannot
+// overlap and would only add scheduling overhead, and because results
+// are worker-count-independent the cap is unobservable in any counter.
+func (m *Machine) runPerCore(f func(*Core)) {
+	workers := m.hostPar
+	if workers > len(m.cores) {
+		workers = len(m.cores)
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		for _, c := range m.cores {
+			f(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.cores) {
+					return
+				}
+				f(m.cores[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// replayPrivate is phase 1: walk the core's log through its TLB/L1/L2,
+// record private-level latencies, and emit shared-level events. Runs
+// concurrently across cores; reads only immutable machine configuration
+// (ranges, latencies) besides the core's own state.
+func (c *Core) replayPrivate() {
+	m := c.m
+	c.evs = c.evs[:0]
+	prevLA := ^uint64(0)
+	prevPage := ^uint64(0)
+	var coh, trk bool
+	var hint cache.Hint
+	for i := range c.rec {
+		r := &c.rec[i]
+		la := r.la
+		write := r.meta&recWrite != 0
+		sameLine := la == prevLA
+		if !sameLine {
+			coh = m.isCoherent(la)
+			trk = m.isTracked(la)
+			hint = m.hintFor(la)
+			prevLA = la
+		}
+		extra := int(r.meta>>recCountShift) - 1
+		var lat uint64
+		if c.tlb != nil {
+			// Consecutive accesses to one page cannot miss: the prior
+			// access left the translation resident and nothing evicts
+			// it in between.
+			if pg := la >> pageBits; !(pg == prevPage && c.tlb.retouch(pg)) {
+				if !c.tlb.Lookup(la) {
+					lat += PageWalkLatency
+				}
+				prevPage = pg
+			}
+			if extra > 0 {
+				c.tlb.repeatHit(extra)
+			}
+		}
+		kind := uint8(0)
+		// Consecutive accesses to one line are guaranteed L1 hits for
+		// the same reason; Retouch skips the way scan.
+		if !(sameLine && c.l1.Retouch(la, write)) {
+			r1 := c.l1.Access(la, write, hint, false, -1)
+			if !r1.Hit {
+				lat += m.cfg.L2Latency
+				r2 := c.l2.Access(la, write, hint, false, -1)
+				if r2.Evicted != nil {
+					// Private half of onPrivateEvict; the shared half
+					// (directory bit, LLC dirty propagation) replays in
+					// phase 2, before this record's own shared events.
+					c.l1.Invalidate(r2.Evicted.LineAddr)
+					ek := uint8(evL2Evict)
+					if r2.Evicted.Dirty {
+						ek |= evDirty
+					}
+					c.evs = append(c.evs, sharedEv{la: r2.Evicted.LineAddr, rec: -1, kind: ek})
+				}
+				if !r2.Hit {
+					kind |= evFill
+				}
+			}
+		}
+		if extra > 0 {
+			// Replay the run's 2nd..nth accesses: guaranteed zero-latency
+			// L1 hits, so only hit counters and LRU timestamps move.
+			c.l1.RepeatTouch(extra, write)
+		}
+		if write && coh {
+			kind |= evCohWrite
+		}
+		if trk {
+			kind |= evTrack
+		}
+		if kind != 0 {
+			c.evs = append(c.evs, sharedEv{la: la, rec: int32(i), kind: kind})
+		}
+		r.lat = uint32(lat)
+	}
+}
+
+// replayShared is phase 2: apply every core's shared events to the mesh,
+// LLC, DRAM, directory, and usefulness shards in canonical core order,
+// mirroring the inline backend's per-access ordering (evictions first,
+// then fill, coherent-write invalidation, usefulness mark).
+func (m *Machine) replayShared() {
+	tiles := m.mesh.Tiles()
+	for _, c := range m.cores {
+		tile := c.id % tiles
+		self := uint64(1) << uint(c.id)
+		for _, ev := range c.evs {
+			la := ev.la
+			if ev.kind&evL2Evict != 0 {
+				if d := m.dirEntry(la); d != nil {
+					*d &^= self
+				}
+				if ev.kind&evDirty != 0 {
+					m.llc.SetDirty(la)
+				}
+				continue
+			}
+			r := &c.rec[ev.rec]
+			var d *uint64
+			if ev.kind&(evFill|evCohWrite) != 0 {
+				d = m.dirEntry(la)
+			}
+			if ev.kind&evFill != 0 {
+				lat := m.mesh.Transfer(tile, la, cache.LineSize)
+				lat += m.cfg.LLCLatency
+				r3 := m.llc.Access(la, r.meta&recWrite != 0, m.hintFor(la), false, -1)
+				if r3.Evicted != nil {
+					m.onLLCEvict(r3.Evicted)
+				}
+				if !r3.Hit {
+					lat += m.dram.Access(la, false, cache.LineSize)
+					if ev.kind&evTrack != 0 {
+						m.useInsert(la)
+					}
+				}
+				if d != nil {
+					*d |= self
+				}
+				r.lat += uint32(lat)
+			}
+			if ev.kind&evCohWrite != 0 && d != nil {
+				m.invalidatePeers(c.id, la, d)
+			}
+			if ev.kind&evTrack != 0 {
+				m.useMarkMask(la, uint16(r.meta&recWordMask))
+			}
+		}
+	}
+}
+
+// traceDrain emits trace records for all drained accesses in canonical
+// core order (the phase-merged backend's deterministic trace order; the
+// inline backend traces in engine issue order instead). Coalesced runs
+// emit one trace line per original access.
+func (m *Machine) traceDrain() {
+	for _, c := range m.cores {
+		for i := range c.rec {
+			r := &c.rec[i]
+			for n := r.meta >> recCountShift; n > 0; n-- {
+				m.traceAccess(c.id, r.la, r.meta&recWrite != 0, r.meta&recStall != 0)
+			}
+		}
+	}
+}
+
+// applyStalls is phase 3: fold each demand record's total latency into
+// the core's cycle counters, in log order, then reset the logs.
+func (c *Core) applyStalls(mlp float64) {
+	for i := range c.rec {
+		r := &c.rec[i]
+		if r.meta&recStall != 0 && r.lat > 0 {
+			s := float64(r.lat) / mlp
+			c.cycles += s
+			c.stallCycles += s
+			c.phaseCycles[Phase((r.meta>>recPhaseShift)&3)] += s
+		}
+	}
+	c.rec = c.rec[:0]
+	c.evs = c.evs[:0]
+}
