@@ -1,11 +1,13 @@
 # Build and verification entry points. `make check` is the gate every
-# change must pass: clean build, vet, and the full test suite under the
+# change must pass: clean build, vet, the full test suite under the
 # race detector (the phase-merged machine backend fans out across host
-# goroutines, so races are correctness bugs here, not just hygiene).
+# goroutines, so races are correctness bugs here, not just hygiene),
+# and the seeded fault-injection suite (the robustness gate: every
+# fault class must be absorbed or surfaced as a typed error).
 
 GO ?= go
 
-.PHONY: all build vet test race check bench benchsim clean
+.PHONY: all build vet test race faults determinism fuzz-smoke check bench benchsim clean
 
 all: check
 
@@ -21,7 +23,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# Seeded fault-injection suite: injector unit tests, hardened
+# ingestion/checkpoint/session tests, and the full "robust" experiment
+# (all five acceptance classes, double-run determinism included).
+faults:
+	$(GO) test -count=1 -run 'Fault|Robust|Checkpoint|Session|Sanitize|Validat|Watchdog|Mutate|Corrupt|Hang' . ./internal/fault ./internal/stream ./internal/bench ./internal/sim
+
+# Determinism tests under the race detector: fixed seeds must give
+# bit-identical results on both machine backends, any worker count.
+determinism:
+	$(GO) test -race -count=1 -run 'Determin|HostPar' ./...
+
+# Short native-fuzz smoke over both binary loaders (one -fuzz target
+# per invocation is a `go test` restriction).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSessionLoad$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadSNAP$$' -fuzztime 10s ./internal/graph
+
+check: build vet race faults
 
 # Paper-figure benchmark sweep (see bench_test.go for the cell list).
 bench:

@@ -5,7 +5,7 @@
 // scale so `go test -bench=. -benchmem` completes in minutes; they report
 // the figure's headline metric through b.ReportMetric so the shape is
 // visible directly in the bench output.
-package tdgraph
+package tdgraph_test
 
 import (
 	"fmt"

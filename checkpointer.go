@@ -1,0 +1,93 @@
+package tdgraph
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// Checkpointer manages a rotating family of checkpoint generations at
+// Path, Path+".1", Path+".2", ... (newest first). Save rotates the
+// existing generations back one slot before writing the new checkpoint
+// atomically; Load walks the generations newest-first and restores the
+// first one that passes every integrity check, so a torn or bit-flipped
+// newest checkpoint degrades to the previous good one instead of failing
+// the restore. This is the recovery rung of the degradation ladder
+// between "reject the batch" and "full recompute" (DESIGN.md).
+type Checkpointer struct {
+	// Path of the newest checkpoint generation.
+	Path string
+	// Keep is how many generations to retain, minimum 1 (default 2: the
+	// newest plus one fallback).
+	Keep int
+}
+
+// NewCheckpointer returns a Checkpointer with the default retention.
+func NewCheckpointer(path string) *Checkpointer {
+	return &Checkpointer{Path: path, Keep: 2}
+}
+
+func (c *Checkpointer) keep() int {
+	if c.Keep < 1 {
+		return 2
+	}
+	return c.Keep
+}
+
+func (c *Checkpointer) genPath(i int) string {
+	if i == 0 {
+		return c.Path
+	}
+	return fmt.Sprintf("%s.%d", c.Path, i)
+}
+
+// Save rotates the retained generations one slot back and writes the
+// session as the new newest generation. The write itself is atomic
+// (temp file + rename), and rotation happens before it, so at every
+// instant the newest complete generation on disk is recoverable.
+func (c *Checkpointer) Save(s *Session) error {
+	for i := c.keep() - 1; i >= 1; i-- {
+		src, dst := c.genPath(i-1), c.genPath(i)
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if err := os.Rename(src, dst); err != nil {
+			return fmt.Errorf("tdgraph: rotating checkpoint %s -> %s: %w", src, dst, err)
+		}
+	}
+	return s.SaveFile(c.Path)
+}
+
+// RecoveryEvent records one checkpoint generation that was skipped
+// during Load because it was missing or failed integrity checks.
+type RecoveryEvent struct {
+	Path string
+	Err  error
+}
+
+// Load restores the newest generation that passes every integrity check.
+// Skipped generations are returned as RecoveryEvents; when the restored
+// session did not come from the newest generation the recovery is also
+// counted in the session's robustness stats. The error is the newest
+// generation's failure (the most informative one) when no generation is
+// loadable.
+func (c *Checkpointer) Load(a Algorithm, opt SessionOptions) (*Session, []RecoveryEvent, error) {
+	var skipped []RecoveryEvent
+	var firstErr error
+	for i := 0; i < c.keep(); i++ {
+		path := c.genPath(i)
+		s, err := LoadSessionFile(a, path, opt)
+		if err == nil {
+			if len(skipped) > 0 {
+				s.rob.Inc(stats.CtrCheckpointRecovered)
+			}
+			return s, skipped, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		skipped = append(skipped, RecoveryEvent{Path: path, Err: err})
+	}
+	return nil, skipped, fmt.Errorf("tdgraph: no loadable checkpoint generation under %s: %w", c.Path, firstErr)
+}

@@ -6,6 +6,8 @@
 //	tdgraph-bench -list
 //	tdgraph-bench -exp fig10 [-scale 0.25] [-datasets LJ,OR] [-algos sssp] [-cores 64] [-seed 1] [-hostpar 8]
 //	tdgraph-bench -exp all
+//	tdgraph-bench -exp robust -seed 7
+//	tdgraph-bench -exp fig10 -faults corrupt,oob -validate clamp -timeout 2m
 //	tdgraph-bench -simjson BENCH_sim.json [-scale 0.06]
 //
 // -hostpar N runs every simulated cell on the phase-merged machine
@@ -37,6 +39,9 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostpar  = flag.Int("hostpar", 0, "machine execution backend: 0 = inline, N>=1 = phase-merged with N host replay workers")
 		simjson  = flag.String("simjson", "", "measure harness wall-clock (inline vs phase-merged) and write BENCH_sim.json to this path")
+		faults   = flag.String("faults", "", "seeded fault-injection spec, e.g. 'corrupt,oob:0.1,badweight' (see the fault package; seeded by -seed)")
+		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine (clamp forced when -faults is set)")
+		timeout  = flag.Duration("timeout", 0, "per-cell watchdog deadline (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -46,7 +51,13 @@ func main() {
 		}
 		return
 	}
-	opt := bench.Options{Scale: *scale, Cores: *cores, Seed: *seed, CSV: *csvOut, HostParallelism: *hostpar}
+	opt := bench.Options{
+		Scale: *scale, Cores: *cores, Seed: *seed, CSV: *csvOut,
+		HostParallelism: *hostpar,
+		Faults:          *faults,
+		FaultPolicy:     *validate,
+		Timeout:         *timeout,
+	}
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"github.com/tdgraph/tdgraph/internal/bench"
 	"github.com/tdgraph/tdgraph/internal/engine"
 	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/fault"
 	"github.com/tdgraph/tdgraph/internal/graph"
 	"github.com/tdgraph/tdgraph/internal/graph/gen"
 	"github.com/tdgraph/tdgraph/internal/sim"
@@ -42,6 +44,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		verify   = flag.Bool("verify", true, "check every batch against the full-recompute oracle")
 		trace    = flag.String("trace", "", "write a memory access trace of the last batch to this file")
+		faults   = flag.String("faults", "", "seeded fault-injection spec, e.g. 'corrupt,oob:0.1,badweight' (seeded by -seed)")
+		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine (clamp forced when -faults is set)")
+		timeout  = flag.Duration("timeout", 0, "per-batch watchdog deadline for the simulated run (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -67,10 +72,32 @@ func main() {
 			bs = 100
 		}
 	}
-	w := stream.Build(edges, nv, stream.Config{
+	cfg := stream.Config{
 		WarmupFraction: 0.5, BatchSize: bs, AddFraction: *addFrac,
 		NumBatches: *batches, Seed: *seed,
-	})
+	}
+	var inj *fault.Injector
+	if *faults != "" {
+		var err error
+		inj, err = fault.Parse(*faults, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Mutate = func(batch []graph.Update) []graph.Update {
+			return inj.MutateBatch(batch, nv)
+		}
+	}
+	pol, err := stream.ParsePolicy(*validate)
+	if err != nil {
+		fatal(err)
+	}
+	if pol == stream.PolicyNone && inj != nil {
+		// Injected garbage must not reach the builder unchecked.
+		pol = stream.PolicyClamp
+	}
+	vcol := stats.NewCollector()
+	validator := stream.NewValidator(pol, nv, vcol)
+	w := stream.Build(edges, nv, cfg)
 	fmt.Printf("graph: %d vertices, %d edges; warmup %d edges; %d batches of %d updates\n",
 		nv, len(edges), len(w.Warmup), len(w.Batches), bs)
 
@@ -86,6 +113,10 @@ func main() {
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
 
 	for i, batch := range w.Batches {
+		batch, err := validator.Sanitize(batch)
+		if err != nil {
+			fatal(fmt.Errorf("batch %d: %w", i+1, err))
+		}
 		res := b.Apply(batch)
 		newG := b.Snapshot()
 		cfg := sim.ScaledConfig()
@@ -110,8 +141,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			m.SetWatchdog(ctx)
+			defer cancel()
+		}
 		start = time.Now()
-		sys.Process(res)
+		if err := processProtected(sys, res); err != nil {
+			fatal(fmt.Errorf("batch %d: %w", i+1, err))
+		}
 		wall := time.Since(start)
 		m.CollectInto(col)
 
@@ -131,9 +169,18 @@ func main() {
 				tol = 1e-4
 			}
 			if bad := algo.StatesEqual(rt.S, want, tol); bad >= 0 {
-				fatal(fmt.Errorf("batch %d: state mismatch at vertex %d", i+1, bad))
+				if inj == nil {
+					fatal(fmt.Errorf("batch %d: state mismatch at vertex %d", i+1, bad))
+				}
+				// Degradation ladder: an injected fault diverged the
+				// incremental result, so fall back to the recompute and
+				// keep streaming from the known-good states.
+				vcol.Inc(stats.CtrDegradedRecomputes)
+				copy(rt.S, want)
+				fmt.Printf("  divergence at vertex %d under injection: degraded to full recompute\n", bad)
+			} else {
+				fmt.Println("  verified against full recompute ✓")
 			}
-			fmt.Println("  verified against full recompute ✓")
 		}
 		if traceFile != nil {
 			if err := m.FlushTrace(); err != nil {
@@ -149,6 +196,40 @@ func main() {
 		warm = rt.S
 		oldG = newG
 	}
+
+	if inj != nil {
+		fmt.Print("\nfaults injected:")
+		for _, cc := range inj.Injected() {
+			fmt.Printf(" %s=%d", cc.Class, cc.Count)
+		}
+		fmt.Println()
+	}
+	if validator.Policy != stream.PolicyNone {
+		fmt.Printf("validation (%s): out_of_range=%d bad_weight=%d self_loop=%d dropped=%d clamped=%d quarantined=%d diverted=%d degraded=%d\n",
+			validator.Policy,
+			vcol.Get(stats.CtrValOutOfRange), vcol.Get(stats.CtrValBadWeight),
+			vcol.Get(stats.CtrValSelfLoop), vcol.Get(stats.CtrValDropped),
+			vcol.Get(stats.CtrValClamped), vcol.Get(stats.CtrValQuarantined),
+			vcol.Get(stats.CtrValQuarantineHits), vcol.Get(stats.CtrDegradedRecomputes))
+	}
+}
+
+// processProtected drives the scheme with a recover boundary: a watchdog
+// abort surfaces as a typed error instead of a crash.
+func processProtected(sys engine.System, res graph.ApplyResult) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if we, ok := p.(*sim.WatchdogError); ok {
+			err = we
+			return
+		}
+		err = fmt.Errorf("run panicked: %v", p)
+	}()
+	sys.Process(res)
+	return nil
 }
 
 func fatal(err error) {

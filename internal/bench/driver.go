@@ -7,7 +7,9 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"github.com/tdgraph/tdgraph/internal/core"
 	"github.com/tdgraph/tdgraph/internal/engine"
 	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/fault"
 	"github.com/tdgraph/tdgraph/internal/graph"
 	"github.com/tdgraph/tdgraph/internal/graph/gen"
 	"github.com/tdgraph/tdgraph/internal/sim"
@@ -58,6 +61,16 @@ type Spec struct {
 	HostParallelism int
 
 	Seed int64
+
+	// Faults is a fault-injection spec ("class[:param],..." — see
+	// fault.Parse) applied to the measured batch, seeded by Seed so every
+	// injection run is reproducible. Empty disables injection.
+	Faults string
+	// FaultPolicy selects the ingestion validation policy for the
+	// (possibly mutated) batch: none|reject|clamp|quarantine. When
+	// Faults is set and FaultPolicy is empty, clamp is used so injected
+	// garbage cannot poison the measured cell.
+	FaultPolicy string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -112,7 +125,7 @@ var (
 )
 
 func prepKey(s Spec) string {
-	return fmt.Sprintf("%s|%g|%s|%d|%d|%g|%d", s.Dataset, s.Scale, s.Algo, s.BatchSize, s.BatchDivisor, s.AddFraction, s.Seed)
+	return fmt.Sprintf("%s|%g|%s|%d|%d|%g|%d|%s|%s", s.Dataset, s.Scale, s.Algo, s.BatchSize, s.BatchDivisor, s.AddFraction, s.Seed, s.Faults, s.FaultPolicy)
 }
 
 // Prepare builds (or fetches from cache) the streaming case for a spec.
@@ -140,15 +153,40 @@ func Prepare(s Spec) (*prepared, error) {
 			batchSize = 200
 		}
 	}
-	w := stream.Build(edges, nv, stream.Config{
+	cfg := stream.Config{
 		WarmupFraction: 0.5,
 		BatchSize:      batchSize,
 		AddFraction:    s.AddFraction,
 		NumBatches:     1,
 		Seed:           s.Seed,
-	})
+	}
+	if s.Faults != "" {
+		inj, err := fault.Parse(s.Faults, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mutate = func(batch []graph.Update) []graph.Update {
+			return inj.MutateBatch(batch, nv)
+		}
+	}
+	w := stream.Build(edges, nv, cfg)
 	if len(w.Batches) == 0 {
 		return nil, fmt.Errorf("bench: dataset %s at scale %g produced no batch", s.Dataset, s.Scale)
+	}
+	batch := w.Batches[0]
+	if s.Faults != "" || s.FaultPolicy != "" {
+		pol, err := stream.ParsePolicy(s.FaultPolicy)
+		if err != nil {
+			return nil, err
+		}
+		if pol == stream.PolicyNone && s.Faults != "" {
+			// Injected garbage must not reach the builder unchecked.
+			pol = stream.PolicyClamp
+		}
+		batch, err = stream.NewValidator(pol, nv, nil).Sanitize(batch)
+		if err != nil {
+			return nil, err
+		}
 	}
 	b := w.WarmupBuilder()
 	oldG := b.Snapshot()
@@ -157,9 +195,9 @@ func Prepare(s Spec) (*prepared, error) {
 		return nil, err
 	}
 	warm := algo.Reference(a, oldG)
-	res := b.Apply(w.Batches[0])
+	res := b.Apply(batch)
 	newG := b.Snapshot()
-	p := &prepared{a: a, oldG: oldG, newG: newG, warm: warm, res: res, batch: w.Batches[0]}
+	p := &prepared{a: a, oldG: oldG, newG: newG, warm: warm, res: res, batch: batch}
 	prepCache[key] = p
 	return p, nil
 }
@@ -322,6 +360,36 @@ func PreparedResult(s Spec) graph.ApplyResult {
 
 // Run measures one cell on the simulated machine.
 func Run(s Spec) (*Result, error) {
+	return RunCtx(context.Background(), s)
+}
+
+// processProtected drives the scheme with a recover boundary: a watchdog
+// abort becomes a typed error (counted in the collector), and any other
+// panic escaping an engine is converted to an error with its stack
+// instead of taking the harness down.
+func processProtected(sys engine.System, res graph.ApplyResult, col *stats.Collector) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if we, ok := p.(*sim.WatchdogError); ok {
+			col.Inc(stats.CtrWatchdogTrips)
+			err = fmt.Errorf("bench: %w", we)
+			return
+		}
+		err = fmt.Errorf("bench: run panicked: %v\n%s", p, debug.Stack())
+	}()
+	sys.Process(res)
+	return nil
+}
+
+// RunCtx measures one cell like Run, but arms the simulated machine with
+// ctx as a watchdog: once ctx is done (deadline or cancellation) the run
+// aborts with an error wrapping *sim.WatchdogError instead of hanging.
+// A context without a Done channel (e.g. context.Background) leaves the
+// watchdog disarmed, keeping the hot path identical to an unwatched run.
+func RunCtx(ctx context.Context, s Spec) (*Result, error) {
 	s = s.withDefaults()
 	col := stats.NewCollector()
 	_, sys, m, err := build(s, col)
@@ -332,8 +400,13 @@ func Run(s Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil && ctx.Done() != nil {
+		m.SetWatchdog(ctx)
+	}
 	start := time.Now()
-	sys.Process(p.res)
+	if err := processProtected(sys, p.res, col); err != nil {
+		return nil, err
+	}
 	wall := time.Since(start)
 	m.CollectInto(col)
 

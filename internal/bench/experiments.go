@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Options configures an experiment invocation.
@@ -26,6 +28,16 @@ type Options struct {
 	// inline, N >= 1 = phase-merged with N host replay workers.
 	// Simulated results are bit-identical for every N >= 1.
 	HostParallelism int
+	// Faults injects seeded faults into every cell's measured batch
+	// (spec grammar: see fault.Parse). Empty disables injection.
+	Faults string
+	// FaultPolicy is the ingestion validation policy for every cell
+	// (none|reject|clamp|quarantine; clamp is forced when Faults is set
+	// and no policy is given).
+	FaultPolicy string
+	// Timeout bounds each cell's simulated run via the machine watchdog;
+	// 0 leaves runs unbounded.
+	Timeout time.Duration
 }
 
 // render writes a table in the selected output format.
@@ -110,14 +122,26 @@ func (o Options) spec(dataset, algoName, scheme string) Spec {
 		Cores:           o.Cores,
 		Seed:            o.Seed,
 		HostParallelism: o.HostParallelism,
+		Faults:          o.Faults,
+		FaultPolicy:     o.FaultPolicy,
 	}
+}
+
+// run measures one spec under the options' watchdog timeout (if any).
+func (o Options) run(s Spec) (*Result, error) {
+	if o.Timeout <= 0 {
+		return Run(s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.Timeout)
+	defer cancel()
+	return RunCtx(ctx, s)
 }
 
 // runSchemes measures the given schemes on one dataset/algo cell.
 func (o Options) runSchemes(dataset, algoName string, schemes []string) (map[string]*Result, error) {
 	out := make(map[string]*Result, len(schemes))
 	for _, s := range schemes {
-		r, err := Run(o.spec(dataset, algoName, s))
+		r, err := o.run(o.spec(dataset, algoName, s))
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/%s: %w", dataset, algoName, s, err)
 		}

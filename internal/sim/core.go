@@ -106,6 +106,7 @@ func (c *Core) Prefetch(addr uint64, size int) { c.access(addr, size, false, fal
 func (c *Core) PrefetchWrite(addr uint64, size int) { c.access(addr, size, true, false) }
 
 func (c *Core) access(addr uint64, size int, write, stall bool) {
+	c.m.wdCheck()
 	if size <= 0 {
 		size = 1
 	}

@@ -18,6 +18,7 @@ package sim
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 
 	"github.com/tdgraph/tdgraph/internal/sim/cache"
@@ -180,6 +181,12 @@ type Machine struct {
 	stepStartByte uint64
 
 	finished bool
+
+	// Watchdog (see watchdog.go): when wdCtx is non-nil, the engine
+	// goroutine polls it (amortised in access, exactly at barriers) and
+	// panics *WatchdogError once it is done. wdCount strides the polls.
+	wdCtx   context.Context
+	wdCount uint64
 }
 
 // New builds a machine for the config. Invalid cache geometry panics:
@@ -330,6 +337,7 @@ func (m *Machine) Time() float64 { return m.time }
 // bytes moved during the step, and every core restarts from the new
 // global time.
 func (m *Machine) Barrier() {
+	m.wdPoll()
 	m.drain()
 	maxCycles := m.time
 	for _, c := range m.cores {

@@ -163,6 +163,24 @@ const (
 	CtrCyclesMemStall  = "cycles.mem_stall"
 	CtrCyclesPropagate = "cycles.propagate" // state-propagation portion
 	CtrCyclesOther     = "cycles.other"     // tracking/indexing/bookkeeping
+
+	// Ingestion validation (filled by internal/stream.Validator).
+	CtrValOutOfRange     = "validate.out_of_range"    // endpoint beyond the vertex set
+	CtrValBadWeight      = "validate.bad_weight"      // NaN/±Inf weight
+	CtrValSelfLoop       = "validate.self_loop"       // src == dst
+	CtrValRejected       = "validate.rejected"        // batches refused under PolicyReject
+	CtrValClamped        = "validate.clamped"         // updates repaired under PolicyClamp
+	CtrValDropped        = "validate.dropped"         // updates discarded (unsalvageable)
+	CtrValQuarantined    = "validate.quarantined"     // vertices placed in quarantine
+	CtrValQuarantineHits = "validate.quarantine_hits" // later updates diverted by quarantine
+
+	// Robustness events (fault injection and graceful degradation).
+	CtrFaultInjected       = "fault.injected"                // total faults injected this run
+	CtrDegradedRecomputes  = "robust.degraded_recomputes"    // audit-triggered full recomputes
+	CtrPanicsRecovered     = "robust.panics_recovered"       // panics converted to errors at the API
+	CtrCheckpointRecovered = "robust.checkpoint_recoveries"  // loads served by an older generation
+	CtrWatchdogTrips       = "robust.watchdog_trips"         // runs aborted by the watchdog
+	CtrAuditDivergence     = "robust.audit_divergent_vertex" // vertices failing the audit invariant
 )
 
 // Series is an ordered list of labelled float values — one bar group or one

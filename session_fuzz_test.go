@@ -1,0 +1,66 @@
+package tdgraph_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+)
+
+// FuzzSessionLoad checks the checkpoint loader never panics and never
+// leaks a raw io error: every rejection must be typed, and anything it
+// accepts must be a coherent session (mirroring FuzzLoadSNAP for graphs,
+// extended over the checkpoint's state block).
+func FuzzSessionLoad(f *testing.F) {
+	// Seed with a real checkpoint plus hostile variants of it.
+	edges, nv := sessionEdges()
+	s, err := tdgraph.NewSession(tdgraph.NewCC(), edges, nv, tdgraph.SessionOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])     // torn mid-file
+	f.Add(valid[:7])                // torn inside the header
+	f.Add([]byte{})                 // empty
+	f.Add([]byte{1, 2, 3})          // garbage
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x40 // bit flip in the state block
+	f.Add(flipped)
+	badmagic := append([]byte(nil), valid...)
+	badmagic[0] ^= 0xFF
+	f.Add(badmagic)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := tdgraph.LoadSession(tdgraph.NewCC(), bytes.NewReader(data), tdgraph.SessionOptions{})
+		if err != nil {
+			// Rejections must be typed checkpoint errors, never the raw
+			// io sentinels the reader produced.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				t.Fatalf("raw io error leaked: %v", err)
+			}
+			var ce *tdgraph.CheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("untyped load error %T: %v", err, err)
+			}
+			if !errors.Is(err, tdgraph.ErrCheckpointTruncated) && !errors.Is(err, tdgraph.ErrCheckpointCorrupt) {
+				t.Fatalf("checkpoint error without sentinel: %v", err)
+			}
+			return
+		}
+		// Anything accepted must be internally coherent and streamable.
+		if restored.NumVertices() != len(restored.States()) {
+			t.Fatalf("restored session has %d vertices but %d states",
+				restored.NumVertices(), len(restored.States()))
+		}
+		if err := restored.Graph().Validate(); err != nil {
+			t.Fatalf("accepted checkpoint with invalid graph: %v", err)
+		}
+	})
+}

@@ -4,112 +4,228 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"github.com/tdgraph/tdgraph/internal/graph"
 )
 
-// Checkpoint format: the graph snapshot in its binary format, followed by
-// a state block. Algorithms are not serialised — the caller supplies the
-// same algorithm on load (its parameters, like the SSSP root, are part of
-// the caller's configuration, and Load verifies the states are consistent
-// with it only lazily via Recompute if asked).
-const stateMagic = 0x54445331 // "TDS1"
+// Checkpoint format v2 ("TDS2"): a fixed header followed by two
+// checksummed blocks.
+//
+//	header:      magic uint32 | version uint32
+//	graph block: payloadLen uint64 | crc32(payload) uint32 | payload
+//	state block: payloadLen uint64 | crc32(payload) uint32 | payload
+//
+// The graph payload is the snapshot's own binary format; the state
+// payload is count uint64 followed by count float64 bit patterns. All
+// integers little-endian. The CRC (IEEE) covers only the payload, so a
+// torn tail is distinguishable from a bit flip: a short read inside any
+// field reports ErrCheckpointTruncated, a checksum mismatch reports
+// ErrCheckpointCorrupt. Algorithms are not serialised — the caller
+// supplies the same algorithm on load (its parameters, like the SSSP
+// root, are part of the caller's configuration).
+const (
+	checkpointMagic   = 0x54445332 // "TDS2"
+	checkpointVersion = 2
+	// maxStateEntries bounds the state block so a corrupted count cannot
+	// drive allocation; matches the graph deserialiser's own sanity cap.
+	maxStateEntries = 1 << 33
+)
 
-// Save checkpoints the session (graph + converged states) to w. The
-// graph block is length-prefixed so the loader can hand the graph
-// deserialiser exactly its own bytes (its buffered reader must not steal
-// the state block).
+// ErrCheckpointTruncated reports a checkpoint that ends mid-field — the
+// torn write left by a crash or a truncation fault.
+var ErrCheckpointTruncated = errors.New("tdgraph: checkpoint truncated")
+
+// ErrCheckpointCorrupt reports a checkpoint whose bytes are present but
+// wrong: bad magic, unsupported version, checksum mismatch, or
+// inconsistent block contents.
+var ErrCheckpointCorrupt = errors.New("tdgraph: checkpoint corrupt")
+
+// CheckpointError wraps a checkpoint load failure with the stage that
+// detected it; errors.Is sees through it to ErrCheckpointTruncated /
+// ErrCheckpointCorrupt and to any underlying I/O error.
+type CheckpointError struct {
+	Stage string // "header" | "graph" | "state"
+	Err   error
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("tdgraph: checkpoint %s block: %v", e.Stage, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
+// ckptErr wraps err for stage, folding the raw EOF shapes io gives us
+// for short reads into the typed truncation sentinel.
+func ckptErr(stage string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		err = fmt.Errorf("%w (%v)", ErrCheckpointTruncated, err)
+	}
+	return &CheckpointError{Stage: stage, Err: err}
+}
+
+func ckptCorrupt(stage, detail string, args ...any) error {
+	return &CheckpointError{Stage: stage, Err: fmt.Errorf("%w: %s", ErrCheckpointCorrupt, fmt.Sprintf(detail, args...))}
+}
+
+// Save checkpoints the session (graph + converged states) to w in format
+// v2. Both blocks are buffered first so their length and CRC32 can be
+// written ahead of the payload — the loader verifies integrity before
+// interpreting a single payload byte.
 func (s *Session) Save(w io.Writer) error {
 	var gbuf bytes.Buffer
 	if err := s.snap.WriteBinary(&gbuf); err != nil {
 		return err
 	}
+	sbuf := make([]byte, 8+8*len(s.state))
+	binary.LittleEndian.PutUint64(sbuf[:8], uint64(len(s.state)))
+	for i, v := range s.state {
+		binary.LittleEndian.PutUint64(sbuf[8+8*i:], math.Float64bits(v))
+	}
+
 	bw := bufio.NewWriter(w)
 	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(gbuf.Len()))
+	binary.LittleEndian.PutUint32(scratch[:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(scratch[4:8], checkpointVersion)
 	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
-	if _, err := bw.Write(gbuf.Bytes()); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint32(scratch[:4], stateMagic)
-	if _, err := bw.Write(scratch[:4]); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.state)))
-	if _, err := bw.Write(scratch[:8]); err != nil {
-		return err
-	}
-	for _, v := range s.state {
-		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v))
+	for _, payload := range [][]byte{gbuf.Bytes(), sbuf} {
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(len(payload)))
 		if _, err := bw.Write(scratch[:8]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// SaveFile checkpoints the session to path.
+// SaveFile checkpoints the session to path atomically: the bytes are
+// written to a temp file in the same directory, synced to stable storage,
+// and renamed over path, so a crash mid-save can never clobber the
+// previous checkpoint — path always holds either the old complete
+// checkpoint or the new one.
 func (s *Session) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := s.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readBlock reads one length+CRC+payload block, verifying the checksum
+// before returning the payload.
+func readBlock(stage string, r io.Reader, maxLen uint64) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, ckptErr(stage, err)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[:8])
+	wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+	if plen > maxLen {
+		return nil, ckptCorrupt(stage, "implausible block length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, ckptErr(stage, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, ckptCorrupt(stage, "checksum mismatch: stored %08x, computed %08x", wantCRC, got)
+	}
+	return payload, nil
 }
 
 // LoadSession restores a checkpoint written by Save. The supplied
 // algorithm must be the one the checkpoint was computed with (same
 // parameters); states are restored verbatim, skipping the initial
-// fixpoint computation.
+// fixpoint computation. Malformed input is reported as a typed
+// *CheckpointError wrapping ErrCheckpointTruncated or
+// ErrCheckpointCorrupt — never a raw io error or a panic.
 func LoadSession(a Algorithm, r io.Reader, opt SessionOptions) (*Session, error) {
 	if a == nil {
 		return nil, fmt.Errorf("tdgraph: nil algorithm")
 	}
 	br := bufio.NewReader(r)
-	var scratch [8]byte
-	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
-		return nil, fmt.Errorf("tdgraph: reading checkpoint header: %w", err)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, ckptErr("header", err)
 	}
-	glen := binary.LittleEndian.Uint64(scratch[:8])
-	snap, err := graph.ReadBinary(io.LimitReader(br, int64(glen)))
+	if magic := binary.LittleEndian.Uint32(hdr[:4]); magic != checkpointMagic {
+		return nil, ckptCorrupt("header", "bad magic %08x (want %08x)", magic, uint32(checkpointMagic))
+	}
+	if ver := binary.LittleEndian.Uint32(hdr[4:8]); ver != checkpointVersion {
+		return nil, ckptCorrupt("header", "unsupported version %d (want %d)", ver, checkpointVersion)
+	}
+
+	gpayload, err := readBlock("graph", br, 1<<40)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-		return nil, fmt.Errorf("tdgraph: reading state header: %w", err)
+	snap, err := graph.ReadBinary(bytes.NewReader(gpayload))
+	if err != nil {
+		// The payload passed its CRC, so a deserialisation failure means
+		// the block content itself is inconsistent, not torn.
+		return nil, ckptCorrupt("graph", "%v", err)
 	}
-	if binary.LittleEndian.Uint32(scratch[:4]) != stateMagic {
-		return nil, fmt.Errorf("tdgraph: bad state block magic")
-	}
-	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+
+	spayload, err := readBlock("state", br, 8+8*uint64(maxStateEntries))
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint64(scratch[:8])
+	if len(spayload) < 8 {
+		return nil, ckptCorrupt("state", "block too short for count: %d bytes", len(spayload))
+	}
+	n := binary.LittleEndian.Uint64(spayload[:8])
 	if int(n) != snap.NumVertices {
-		return nil, fmt.Errorf("tdgraph: state block has %d entries for %d vertices", n, snap.NumVertices)
+		return nil, ckptCorrupt("state", "%d entries for %d vertices", n, snap.NumVertices)
+	}
+	if uint64(len(spayload)) != 8+8*n {
+		return nil, ckptCorrupt("state", "block is %d bytes for %d entries", len(spayload), n)
 	}
 	state := make([]float64, n)
 	for i := range state {
-		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
-			return nil, err
-		}
-		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:8]))
+		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(spayload[8+8*i:]))
 	}
 	if opt.Cores <= 0 {
 		opt.Cores = 8
 	}
 	b := graph.NewBuilderFromEdges(snap.NumVertices, snap.EdgeList())
-	return &Session{opt: opt, a: a, b: b, snap: snap, state: state}, nil
+	s := &Session{opt: opt, a: a, b: b, snap: snap, state: state}
+	s.initRobustness()
+	return s, nil
 }
 
 // LoadSessionFile restores a checkpoint from path.

@@ -19,6 +19,7 @@ package tdgraph
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/tdgraph/tdgraph/internal/algo"
 	"github.com/tdgraph/tdgraph/internal/core"
@@ -27,6 +28,7 @@ import (
 	"github.com/tdgraph/tdgraph/internal/native"
 	"github.com/tdgraph/tdgraph/internal/sim"
 	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/stream"
 )
 
 // Re-exported graph types.
@@ -84,6 +86,27 @@ const (
 	EngineNativeParallel
 )
 
+// ValidationPolicy selects how a Session screens incoming updates; see
+// the internal/stream validator for the exact semantics of each rung.
+type ValidationPolicy = stream.Policy
+
+// Validation policies, from most permissive to most defensive.
+const (
+	// ValidationNone disables update screening (the default): callers
+	// feeding trusted, well-formed streams pay nothing.
+	ValidationNone = stream.PolicyNone
+	// ValidationReject refuses any batch containing a malformed update
+	// with a typed *stream.ValidationError.
+	ValidationReject = stream.PolicyReject
+	// ValidationClamp repairs NaN/Inf weights and drops out-of-range or
+	// self-loop updates, counting each action.
+	ValidationClamp = stream.PolicyClamp
+	// ValidationQuarantine is ValidationClamp plus endpoint quarantine:
+	// later updates touching a vertex a malformed update named are
+	// diverted too.
+	ValidationQuarantine = stream.PolicyQuarantine
+)
+
 // SessionOptions configures a Session.
 type SessionOptions struct {
 	// Engine selects the processing discipline (default
@@ -97,6 +120,17 @@ type SessionOptions struct {
 	// Metrics include cycle counts and memory-system counters.
 	// (Simulation is orders of magnitude slower than functional mode.)
 	Simulate bool
+	// Validation screens every batch (and the initial edge list) before
+	// it reaches the graph builder. Default ValidationNone.
+	Validation ValidationPolicy
+	// MaxVertices caps valid vertex IDs when Validation is armed; 0
+	// means "the vertex count the session was created with". Without a
+	// cap a single wild update ID could grow the vertex set unboundedly.
+	MaxVertices int
+	// SelfCheck audits the local-fixpoint invariant after every batch
+	// and transparently falls back to a full recompute on divergence
+	// (recorded in RobustStats). One extra O(V+E) pass per batch.
+	SelfCheck bool
 }
 
 // Session maintains a streaming graph and its converged algorithm states
@@ -108,12 +142,30 @@ type Session struct {
 	snap  *graph.Snapshot
 	state []float64
 
+	validator *stream.Validator
+	rob       *stats.Collector
+
 	lastMetrics *stats.Collector
 	lastCycles  float64
 }
 
+// initRobustness sets up the session's validator and robustness counters
+// from its options; called from every constructor path.
+func (s *Session) initRobustness() {
+	s.rob = stats.NewCollector()
+	if s.opt.Validation != ValidationNone {
+		maxV := s.opt.MaxVertices
+		if maxV <= 0 {
+			maxV = s.b.NumVertices()
+		}
+		s.validator = stream.NewValidator(s.opt.Validation, maxV, s.rob)
+	}
+}
+
 // NewSession builds the initial graph from edges (nil for an empty graph
-// over numVertices vertices) and converges the algorithm on it.
+// over numVertices vertices) and converges the algorithm on it. When a
+// validation policy is set, the initial edge list is screened under the
+// same policy as streamed batches.
 func NewSession(a Algorithm, edges []Edge, numVertices int, opt SessionOptions) (*Session, error) {
 	if a == nil {
 		return nil, fmt.Errorf("tdgraph: nil algorithm")
@@ -124,9 +176,32 @@ func NewSession(a Algorithm, edges []Edge, numVertices int, opt SessionOptions) 
 	if opt.Engine == EngineNativeParallel && opt.Simulate {
 		return nil, fmt.Errorf("tdgraph: the native parallel engine cannot be simulated")
 	}
+	rob := stats.NewCollector()
+	var validator *stream.Validator
+	if opt.Validation != ValidationNone {
+		maxV := opt.MaxVertices
+		if maxV <= 0 {
+			maxV = numVertices
+		}
+		validator = stream.NewValidator(opt.Validation, maxV, rob)
+		asUpdates := make([]Update, len(edges))
+		for i, e := range edges {
+			asUpdates[i] = Update{Edge: e}
+		}
+		clean, err := validator.Sanitize(asUpdates)
+		if err != nil {
+			return nil, fmt.Errorf("tdgraph: initial edge list: %w", err)
+		}
+		if len(clean) != len(edges) {
+			edges = make([]Edge, len(clean))
+			for i, u := range clean {
+				edges[i] = u.Edge
+			}
+		}
+	}
 	b := graph.NewBuilderFromEdges(numVertices, edges)
 	snap := b.Snapshot()
-	s := &Session{opt: opt, a: a, b: b, snap: snap}
+	s := &Session{opt: opt, a: a, b: b, snap: snap, validator: validator, rob: rob}
 	s.state = algo.Reference(a, snap)
 	return s, nil
 }
@@ -157,11 +232,61 @@ func (s *Session) Metrics() *stats.Collector { return s.lastMetrics }
 // functional mode).
 func (s *Session) LastCycles() float64 { return s.lastCycles }
 
+// PanicError is an engine or builder panic converted to an error at the
+// public API boundary, with the operation and stack that produced it. The
+// session it escaped from has already been healed (states recomputed from
+// the current graph), so the caller may keep streaming.
+type PanicError struct {
+	Op    string // the operation that panicked, e.g. "ApplyBatch"
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("tdgraph: panic in %s: %v", e.Op, e.Value)
+}
+
 // ApplyBatch applies the updates to the graph and incrementally repairs
 // the algorithm states. It returns what the batch changed.
+//
+// Robustness: when a validation policy is set the batch is screened
+// first (under ValidationReject a malformed batch returns a typed error
+// and changes nothing). A panic anywhere in batch application or engine
+// processing is converted to a *PanicError and the session self-heals by
+// recomputing from the current graph — no panic escapes and the session
+// stays usable. With SelfCheck set, a post-batch audit of the fixpoint
+// invariant triggers a transparent recompute on divergence.
 func (s *Session) ApplyBatch(batch []Update) (ApplyResult, error) {
+	if s.validator != nil {
+		clean, err := s.validator.Sanitize(batch)
+		if err != nil {
+			return ApplyResult{}, err
+		}
+		batch = clean
+	}
+	res, err := s.applyBatchProtected(batch)
+	if err != nil {
+		return res, err
+	}
+	if s.opt.SelfCheck {
+		s.CheckAndRepair()
+	}
+	return res, nil
+}
+
+// applyBatchProtected runs the actual batch application under a recover
+// barrier: any panic heals the session and comes back as a *PanicError.
+func (s *Session) applyBatchProtected(batch []Update) (res ApplyResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Op: "ApplyBatch", Value: p, Stack: debug.Stack()}
+			s.rob.Inc(stats.CtrPanicsRecovered)
+			s.healAfterPanic()
+		}
+	}()
+
 	oldG := s.snap
-	res := s.b.Apply(batch)
+	res = s.b.Apply(batch)
 	newG := s.b.Snapshot()
 
 	if s.opt.Engine == EngineNativeParallel {
@@ -204,6 +329,68 @@ func (s *Session) ApplyBatch(batch []Update) (ApplyResult, error) {
 		s.lastCycles = m.Time()
 	}
 	return res, nil
+}
+
+// healAfterPanic restores the session to a consistent shape after a
+// recovered panic: the builder still holds a consistent graph (its
+// mutations are per-update, not partial), so the snapshot is resynced and
+// the states recomputed from scratch. The recompute runs the algorithm's
+// own code — the very code that may have panicked — so it is protected
+// too: if it panics again the states are merely padded to the snapshot's
+// shape, keeping the session usable for inspection and checkpointing.
+func (s *Session) healAfterPanic() {
+	s.snap = s.b.Snapshot()
+	defer func() {
+		if recover() != nil {
+			n := s.snap.NumVertices
+			if len(s.state) > n {
+				s.state = s.state[:n]
+			}
+			for len(s.state) < n {
+				s.state = append(s.state, 0)
+			}
+		}
+	}()
+	s.state = algo.Reference(s.a, s.snap)
+	s.rob.Inc(stats.CtrDegradedRecomputes)
+}
+
+// Audit checks the local-fixpoint invariant of the current states
+// without repairing anything. It returns the first divergent vertex and
+// false on divergence, or (0, true) when the states are consistent.
+func (s *Session) Audit() (VertexID, bool) {
+	v, ok := engine.AuditStates(s.a, s.snap, s.state)
+	if !ok {
+		s.rob.Inc(stats.CtrAuditDivergence)
+	}
+	return v, ok
+}
+
+// CheckAndRepair audits the current states and, on divergence, degrades
+// gracefully: the states are recomputed from scratch on the current
+// snapshot and the event is recorded in RobustStats. It reports whether a
+// repair happened.
+func (s *Session) CheckAndRepair() bool {
+	if _, ok := s.Audit(); ok {
+		return false
+	}
+	s.rob.Inc(stats.CtrDegradedRecomputes)
+	s.Recompute()
+	return true
+}
+
+// RobustStats returns the session's robustness counters: validation
+// actions per class, recovered panics, audit divergences, and degraded
+// recomputes. The collector accumulates over the session's lifetime.
+func (s *Session) RobustStats() *stats.Collector { return s.rob }
+
+// Quarantined returns the vertices currently quarantined by the
+// ValidationQuarantine policy (nil otherwise).
+func (s *Session) Quarantined() map[VertexID]struct{} {
+	if s.validator == nil {
+		return nil
+	}
+	return s.validator.Quarantined()
 }
 
 // Recompute converges the algorithm from scratch on the current snapshot
