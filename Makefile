@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race faults determinism fuzz-smoke check bench benchsim clean
+.PHONY: all build vet test race faults chaos determinism fuzz-smoke check bench benchsim clean
 
 all: check
 
@@ -27,7 +27,14 @@ race:
 # ingestion/checkpoint/session tests, and the full "robust" experiment
 # (all five acceptance classes, double-run determinism included).
 faults:
-	$(GO) test -count=1 -run 'Fault|Robust|Checkpoint|Session|Sanitize|Validat|Watchdog|Mutate|Corrupt|Hang' . ./internal/fault ./internal/stream ./internal/bench ./internal/sim
+	$(GO) test -count=1 -run 'Fault|Robust|Checkpoint|Session|Sanitize|Validat|Watchdog|Mutate|Corrupt|Hang|WAL|Serve|Backoff|Breaker|Queue|Retry|Pipeline' . ./internal/fault ./internal/stream ./internal/bench ./internal/sim ./internal/wal ./internal/serve
+
+# Chaos suite: seeded kill-anywhere crash/recovery trials over the
+# durable ingestion pipeline, under the race detector. Proves no
+# acknowledged batch is lost past the last fsync barrier and that the
+# recovered vertex states are byte-identical to an uninterrupted run.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/serve
 
 # Determinism tests under the race detector: fixed seeds must give
 # bit-identical results on both machine backends, any worker count.
@@ -40,7 +47,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSessionLoad$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadSNAP$$' -fuzztime 10s ./internal/graph
 
-check: build vet race faults
+check: build vet race faults chaos
 
 # Paper-figure benchmark sweep (see bench_test.go for the cell list).
 bench:

@@ -1,7 +1,11 @@
 package tdgraph
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 
 	"github.com/tdgraph/tdgraph/internal/stats"
@@ -42,10 +46,15 @@ func (c *Checkpointer) genPath(i int) string {
 	return fmt.Sprintf("%s.%d", c.Path, i)
 }
 
+// metaPath is the sidecar carrying a generation's opaque metadata
+// (the serve pipeline stores the WAL sequence the checkpoint covers).
+func (c *Checkpointer) metaPath(i int) string { return c.genPath(i) + ".meta" }
+
 // Save rotates the retained generations one slot back and writes the
 // session as the new newest generation. The write itself is atomic
-// (temp file + rename), and rotation happens before it, so at every
-// instant the newest complete generation on disk is recoverable.
+// (temp file + rename + directory fsync), and rotation happens before
+// it, so at every instant the newest complete generation on disk is
+// recoverable. Metadata sidecars rotate with their generations.
 func (c *Checkpointer) Save(s *Session) error {
 	for i := c.keep() - 1; i >= 1; i-- {
 		src, dst := c.genPath(i-1), c.genPath(i)
@@ -55,8 +64,28 @@ func (c *Checkpointer) Save(s *Session) error {
 		if err := os.Rename(src, dst); err != nil {
 			return fmt.Errorf("tdgraph: rotating checkpoint %s -> %s: %w", src, dst, err)
 		}
+		msrc, mdst := c.metaPath(i-1), c.metaPath(i)
+		if _, err := os.Stat(msrc); err == nil {
+			if err := os.Rename(msrc, mdst); err != nil {
+				return fmt.Errorf("tdgraph: rotating checkpoint meta %s -> %s: %w", msrc, mdst, err)
+			}
+		}
 	}
+	// A stale newest sidecar (its checkpoint just rotated away) must not
+	// survive to describe the generation about to be written.
+	os.Remove(c.metaPath(0))
 	return s.SaveFile(c.Path)
+}
+
+// SaveWithMeta is Save plus an atomically written metadata sidecar for
+// the new generation. The sidecar is CRC-framed and written after the
+// checkpoint, so a crash between the two leaves a checkpoint without
+// metadata — LoadWithMeta skips such a generation rather than guessing.
+func (c *Checkpointer) SaveWithMeta(s *Session, meta []byte) error {
+	if err := c.Save(s); err != nil {
+		return err
+	}
+	return writeMetaFile(c.metaPath(0), meta)
 }
 
 // RecoveryEvent records one checkpoint generation that was skipped
@@ -90,4 +119,92 @@ func (c *Checkpointer) Load(a Algorithm, opt SessionOptions) (*Session, []Recove
 		skipped = append(skipped, RecoveryEvent{Path: path, Err: err})
 	}
 	return nil, skipped, fmt.Errorf("tdgraph: no loadable checkpoint generation under %s: %w", c.Path, firstErr)
+}
+
+// LoadWithMeta restores the newest generation whose checkpoint AND
+// metadata sidecar both pass every integrity check. A generation
+// missing its sidecar (a crash landed between checkpoint and meta
+// writes) is skipped exactly like a torn checkpoint: recovery needs
+// both to know what the checkpoint covers.
+func (c *Checkpointer) LoadWithMeta(a Algorithm, opt SessionOptions) (*Session, []byte, []RecoveryEvent, error) {
+	var skipped []RecoveryEvent
+	var firstErr error
+	for i := 0; i < c.keep(); i++ {
+		failedPath := c.metaPath(i)
+		meta, err := readMetaFile(failedPath)
+		if err == nil {
+			failedPath = c.genPath(i)
+			var s *Session
+			s, err = LoadSessionFile(a, failedPath, opt)
+			if err == nil {
+				if len(skipped) > 0 {
+					s.rob.Inc(stats.CtrCheckpointRecovered)
+				}
+				return s, meta, skipped, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		skipped = append(skipped, RecoveryEvent{Path: failedPath, Err: err})
+	}
+	return nil, nil, skipped, fmt.Errorf("tdgraph: no loadable checkpoint generation with metadata under %s: %w", c.Path, firstErr)
+}
+
+// Metas returns each retained generation's metadata payload, newest
+// first, with nil entries where the sidecar is missing or fails its
+// checks. Retention decisions (how far the WAL may be truncated) key
+// off the OLDEST retained generation, so a fallback restore never
+// finds its replay tail already deleted.
+func (c *Checkpointer) Metas() [][]byte {
+	out := make([][]byte, c.keep())
+	for i := range out {
+		if m, err := readMetaFile(c.metaPath(i)); err == nil {
+			out[i] = m
+		}
+	}
+	return out
+}
+
+// Metadata sidecar format: magic u32 | payloadLen u32 | crc32 u32 |
+// payload, little-endian, CRC (IEEE) over the payload. Small enough to
+// write atomically everywhere, framed so a torn sidecar reads as a
+// typed *CheckpointError instead of garbage metadata.
+const metaMagic = 0x5444534D // "TDSM"
+
+func writeMetaFile(path string, meta []byte) error {
+	return saveFileAtomic(path, func(w io.Writer) error {
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], metaMagic)
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(meta)))
+		binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(meta))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(meta)
+		return err
+	})
+}
+
+func readMetaFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &CheckpointError{Stage: "meta", Err: err}
+	}
+	if len(data) < 12 {
+		return nil, ckptErr("meta", io.ErrUnexpectedEOF)
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:4]); magic != metaMagic {
+		return nil, ckptCorrupt("meta", "bad magic %08x (want %08x)", magic, uint32(metaMagic))
+	}
+	plen := binary.LittleEndian.Uint32(data[4:8])
+	wantCRC := binary.LittleEndian.Uint32(data[8:12])
+	if uint32(len(data)-12) != plen {
+		return nil, ckptErr("meta", io.ErrUnexpectedEOF)
+	}
+	payload := data[12:]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, ckptCorrupt("meta", "checksum mismatch: stored %08x, computed %08x", wantCRC, got)
+	}
+	return bytes.Clone(payload), nil
 }

@@ -1,0 +1,155 @@
+package tdgraph_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// TestCheckpointerMetaRotation: metadata sidecars rotate with their
+// generations, LoadWithMeta returns the newest pair, and Metas exposes
+// the retained history newest-first.
+func TestCheckpointerMetaRotation(t *testing.T) {
+	edges, nv := sessionEdges()
+	s, err := tdgraph.NewSession(tdgraph.NewCC(), edges, nv, tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := tdgraph.NewCheckpointer(filepath.Join(t.TempDir(), "ckpt.tds"))
+
+	if err := ck.SaveWithMeta(s, []byte("seq-10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.SaveWithMeta(s, []byte("seq-20")); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, meta, skipped, err := ck.LoadWithMeta(tdgraph.NewCC(), tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("clean generations skipped: %v", skipped)
+	}
+	if !bytes.Equal(meta, []byte("seq-20")) {
+		t.Fatalf("meta = %q, want the newest generation's", meta)
+	}
+	if restored.NumEdges() != s.NumEdges() {
+		t.Fatal("restored session has wrong shape")
+	}
+
+	metas := ck.Metas()
+	if len(metas) != 2 || !bytes.Equal(metas[0], []byte("seq-20")) || !bytes.Equal(metas[1], []byte("seq-10")) {
+		t.Fatalf("Metas() = %q, want newest-first history", metas)
+	}
+}
+
+// TestCheckpointerMetaMissingFallsBack: a crash between the checkpoint
+// write and its sidecar write leaves a generation without metadata —
+// recovery must skip it (it cannot know what that checkpoint covers)
+// and restore the older pair, counting the degradation.
+func TestCheckpointerMetaMissingFallsBack(t *testing.T) {
+	edges, nv := sessionEdges()
+	s, err := tdgraph.NewSession(tdgraph.NewCC(), edges, nv, tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := tdgraph.NewCheckpointer(filepath.Join(t.TempDir(), "ckpt.tds"))
+	if err := ck.SaveWithMeta(s, []byte("seq-10")); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Save = checkpoint written, sidecar never made it.
+	if err := ck.Save(s); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, meta, skipped, err := ck.LoadWithMeta(tdgraph.NewCC(), tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(meta, []byte("seq-10")) {
+		t.Fatalf("meta = %q, want the fallback generation's", meta)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped %v, want exactly the meta-less newest generation", skipped)
+	}
+	var ce *tdgraph.CheckpointError
+	if !errors.As(skipped[0].Err, &ce) || ce.Stage != "meta" {
+		t.Fatalf("skip reason %v, want a meta-stage *CheckpointError", skipped[0].Err)
+	}
+	if restored.RobustStats().Get(stats.CtrCheckpointRecovered) != 1 {
+		t.Fatal("fallback restore not counted")
+	}
+}
+
+// TestCheckpointerMetaCorruptionTyped: a bit-flipped or truncated
+// sidecar reads as a typed *CheckpointError carrying the corruption
+// sentinel, and LoadWithMeta degrades past it.
+func TestCheckpointerMetaCorruptionTyped(t *testing.T) {
+	edges, nv := sessionEdges()
+	s, err := tdgraph.NewSession(tdgraph.NewCC(), edges, nv, tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := tdgraph.NewCheckpointer(filepath.Join(t.TempDir(), "ckpt.tds"))
+	if err := ck.SaveWithMeta(s, []byte("seq-10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.SaveWithMeta(s, []byte("seq-20")); err != nil {
+		t.Fatal(err)
+	}
+	metaPath := ck.Path + ".meta"
+	data, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload bit: CRC must catch it
+	if err := os.WriteFile(metaPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, meta, skipped, err := ck.LoadWithMeta(tdgraph.NewCC(), tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(meta, []byte("seq-10")) {
+		t.Fatalf("meta = %q, want the older good generation's", meta)
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0].Err, tdgraph.ErrCheckpointCorrupt) {
+		t.Fatalf("skip reason %v, want ErrCheckpointCorrupt", skipped)
+	}
+
+	// Metas mirrors the damage: nil for the corrupt newest sidecar.
+	metas := ck.Metas()
+	if metas[0] != nil || !bytes.Equal(metas[1], []byte("seq-10")) {
+		t.Fatalf("Metas() = %q, want [nil seq-10]", metas)
+	}
+}
+
+// TestCheckpointerNoValidPair: when no generation has both a good
+// checkpoint and a good sidecar, LoadWithMeta fails typed instead of
+// guessing.
+func TestCheckpointerNoValidPair(t *testing.T) {
+	edges, nv := sessionEdges()
+	s, err := tdgraph.NewSession(tdgraph.NewCC(), edges, nv, tdgraph.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := tdgraph.NewCheckpointer(filepath.Join(t.TempDir(), "ckpt.tds"))
+	if err := ck.Save(s); err != nil { // checkpoint without sidecar
+		t.Fatal(err)
+	}
+	_, _, _, err = ck.LoadWithMeta(tdgraph.NewCC(), tdgraph.SessionOptions{})
+	if err == nil {
+		t.Fatal("restore without any valid generation+meta pair succeeded")
+	}
+	var ce *tdgraph.CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("failure untyped: %T %v", err, err)
+	}
+}

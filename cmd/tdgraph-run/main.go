@@ -27,6 +27,7 @@ import (
 	"github.com/tdgraph/tdgraph/internal/sim"
 	"github.com/tdgraph/tdgraph/internal/stats"
 	"github.com/tdgraph/tdgraph/internal/stream"
+	"github.com/tdgraph/tdgraph/internal/wal"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func main() {
 		faults   = flag.String("faults", "", "seeded fault-injection spec, e.g. 'corrupt,oob:0.1,badweight' (seeded by -seed)")
 		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine (clamp forced when -faults is set)")
 		timeout  = flag.Duration("timeout", 0, "per-batch watchdog deadline for the simulated run (0 = unbounded)")
+		walDir   = flag.String("wal", "", "append each sanitized batch to a write-ahead log in this directory (tdgraph-serve can replay it)")
+		walSync  = flag.String("walsync", "batch", "WAL fsync policy when -wal is set: batch | interval:N | off")
 	)
 	flag.Parse()
 
@@ -101,6 +104,30 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges; warmup %d edges; %d batches of %d updates\n",
 		nv, len(edges), len(w.Warmup), len(w.Batches), bs)
 
+	// Optional durable logging: every sanitized batch is appended to a
+	// WAL before it is processed, so the run's input stream survives a
+	// crash and can be replayed (e.g. by tdgraph-serve).
+	var wlog *wal.Log
+	if *walDir != "" {
+		syncPolicy, syncEvery, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal(err)
+		}
+		var rec wal.Recovery
+		wlog, rec, err = wal.Open(wal.Options{Dir: *walDir, Sync: syncPolicy, Interval: syncEvery})
+		if err != nil {
+			fatal(err)
+		}
+		defer wlog.Close()
+		if rec.Repaired() {
+			fmt.Printf("wal: repaired torn tail (%d bytes dropped), resuming at seq %d\n",
+				rec.DroppedBytes, rec.LastSeq)
+		}
+	}
+
 	a, err := enginetest.NewAlgorithm(*algoName, nv, *seed)
 	if err != nil {
 		fatal(err)
@@ -116,6 +143,11 @@ func main() {
 		batch, err := validator.Sanitize(batch)
 		if err != nil {
 			fatal(fmt.Errorf("batch %d: %w", i+1, err))
+		}
+		if wlog != nil {
+			if err := wlog.Append(wlog.LastSeq()+1, batch); err != nil {
+				fatal(fmt.Errorf("batch %d: wal append: %w", i+1, err))
+			}
 		}
 		res := b.Apply(batch)
 		newG := b.Snapshot()

@@ -1,0 +1,112 @@
+package tdgraph_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/sim"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// TestErrorWrappingContracts is the %w audit made executable: every
+// typed error in the durability ladder must keep its chain intact so
+// callers can dispatch with errors.Is / errors.As instead of string
+// matching. Each row wraps a cause, then asserts both directions.
+func TestErrorWrappingContracts(t *testing.T) {
+	cause := errors.New("root cause")
+
+	for _, tc := range []struct {
+		name string
+		err  error
+		// sentinels that errors.Is must find through the chain
+		is []error
+		// exactly one of the as* checks runs per row
+		as func(error) bool
+	}{
+		{
+			name: "CheckpointError keeps its stage cause",
+			err:  &tdgraph.CheckpointError{Stage: "header", Err: fmt.Errorf("reading: %w", cause)},
+			is:   []error{cause},
+			as: func(err error) bool {
+				var ce *tdgraph.CheckpointError
+				return errors.As(err, &ce) && ce.Stage == "header"
+			},
+		},
+		{
+			name: "CheckpointError truncated sentinel",
+			err:  &tdgraph.CheckpointError{Stage: "state", Err: fmt.Errorf("%w: %w", tdgraph.ErrCheckpointTruncated, io.ErrUnexpectedEOF)},
+			is:   []error{tdgraph.ErrCheckpointTruncated, io.ErrUnexpectedEOF},
+		},
+		{
+			name: "WatchdogError exposes the context cause",
+			err:  fmt.Errorf("run aborted: %w", &sim.WatchdogError{Err: context.DeadlineExceeded}),
+			is:   []error{context.DeadlineExceeded},
+			as: func(err error) bool {
+				var we *sim.WatchdogError
+				return errors.As(err, &we)
+			},
+		},
+		{
+			name: "WatchdogError cancellation",
+			err:  &sim.WatchdogError{Err: context.Canceled},
+			is:   []error{context.Canceled},
+		},
+		{
+			name: "wal LogError carries segment context and sentinel",
+			err:  &wal.LogError{Segment: "000.wal", Offset: 64, Err: wal.ErrCorrupt},
+			is:   []error{wal.ErrCorrupt},
+			as: func(err error) bool {
+				var le *wal.LogError
+				return errors.As(err, &le) && le.Offset == 64
+			},
+		},
+		{
+			name: "injected WAL fault survives the log wrapper",
+			err:  &wal.LogError{Segment: "000.wal", Err: fmt.Errorf("fault: torn write: %w", fault.ErrInjected)},
+			is:   []error{fault.ErrInjected},
+		},
+		{
+			name: "IngestError chains through to the WAL layer",
+			err: &serve.IngestError{Seq: 7, Stage: "wal", Err: &wal.LogError{
+				Segment: "000.wal", Err: fmt.Errorf("append: %w", fault.ErrInjected)}},
+			is: []error{fault.ErrInjected},
+			as: func(err error) bool {
+				var ie *serve.IngestError
+				var le *wal.LogError
+				return errors.As(err, &ie) && !ie.Durable() && errors.As(err, &le)
+			},
+		},
+		{
+			name: "source exhaustion keeps the final delivery error",
+			err:  fmt.Errorf("%w after 8 attempts: %w", serve.ErrSourceGivenUp, cause),
+			is:   []error{serve.ErrSourceGivenUp, cause},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, sentinel := range tc.is {
+				if !errors.Is(tc.err, sentinel) {
+					t.Errorf("errors.Is(%v, %v) = false", tc.err, sentinel)
+				}
+			}
+			if tc.as != nil && !tc.as(tc.err) {
+				t.Errorf("errors.As lost the typed error in %v", tc.err)
+			}
+		})
+	}
+}
+
+// TestPanicErrorIsTyped: a recovered engine panic surfaces as
+// *PanicError via errors.As at the API boundary.
+func TestPanicErrorIsTyped(t *testing.T) {
+	err := fmt.Errorf("batch 3: %w", &tdgraph.PanicError{Op: "ApplyBatch", Value: "boom"})
+	var pe *tdgraph.PanicError
+	if !errors.As(err, &pe) || pe.Op != "ApplyBatch" {
+		t.Fatalf("PanicError lost through wrapping: %v", err)
+	}
+}

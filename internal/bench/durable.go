@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/graph/gen"
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/stream"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// This file is the durability suite (experiment "durable"): one scenario
+// per rung of the WAL + serve recovery ladder, each deterministic from
+// the seed so two runs render byte-identical tables. Where the robust
+// suite proves faults are absorbed, this suite proves state survives
+// them: nothing durable is lost, nothing torn is replayed.
+
+// durableWorkload builds the suite's shared streaming run: the small
+// preset, half warmed up, the rest in 6 mixed batches.
+func durableWorkload(seed int64) (*stream.Workload, error) {
+	preset, err := gen.PresetByName("AZ")
+	if err != nil {
+		return nil, err
+	}
+	edges, nv := preset.Generate(robustScale)
+	remaining := len(edges) - len(edges)/2
+	bs := remaining / 6
+	if bs < 1 {
+		bs = 1
+	}
+	return stream.Build(edges, nv, stream.Config{
+		WarmupFraction: 0.5,
+		BatchSize:      bs,
+		AddFraction:    0.75,
+		NumBatches:     6,
+		Seed:           seed,
+	}), nil
+}
+
+func durableBootstrap(w *stream.Workload) func() (*tdgraph.Session, error) {
+	return func() (*tdgraph.Session, error) {
+		return tdgraph.NewSession(tdgraph.NewSSSP(0), w.Warmup, w.NumVertices, tdgraph.SessionOptions{})
+	}
+}
+
+// tornTailScenario seals a log, tears its tail with the injector, and
+// verifies recovery truncates to the last whole record instead of
+// failing or replaying garbage.
+func tornTailScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "wal/" + string(fault.PartialSeg)}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	dir, err := os.MkdirTemp("", "tdgraph-durable-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dir)
+
+	opt := wal.Options{Dir: dir, Sync: wal.SyncEachBatch}
+	l, _, err := wal.Open(opt)
+	if err != nil {
+		return r, err
+	}
+	for i, b := range w.Batches {
+		if err := l.Append(uint64(i+1), b); err != nil {
+			return r, err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return r, err
+	}
+
+	segs, err := wal.OSFS{}.List(dir)
+	if err != nil || len(segs) == 0 {
+		return r, fmt.Errorf("%s: no segments on disk (%v)", r.Scenario, err)
+	}
+	last := filepath.Join(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(last)
+	if err != nil {
+		return r, err
+	}
+	inj, err := fault.Parse(string(fault.PartialSeg)+":0.25", seed)
+	if err != nil {
+		return r, err
+	}
+	if err := os.WriteFile(last, inj.CorruptSegment(data), 0o644); err != nil {
+		return r, err
+	}
+
+	l2, rec, err := wal.Open(opt)
+	if err != nil {
+		return r, fmt.Errorf("%s: recovery failed: %w", r.Scenario, err)
+	}
+	defer l2.Close()
+	if !rec.Repaired() {
+		return r, fmt.Errorf("%s: torn tail not repaired", r.Scenario)
+	}
+	if rec.LastSeq >= uint64(len(w.Batches)) {
+		return r, fmt.Errorf("%s: torn final record still visible (seq %d)", r.Scenario, rec.LastSeq)
+	}
+	replayed := 0
+	if err := l2.Replay(1, func(uint64, []graph.Update) error { replayed++; return nil }); err != nil {
+		return r, err
+	}
+	if uint64(replayed) != rec.LastSeq {
+		return r, fmt.Errorf("%s: replayed %d records, recovery says %d", r.Scenario, replayed, rec.LastSeq)
+	}
+	r.Outcome = fmt.Sprintf("appended=%d recovered=%d dropped=%dB tail truncated",
+		len(w.Batches), rec.LastSeq, rec.DroppedBytes)
+	return r, nil
+}
+
+// walFaultScenario appends through an injector-faulted filesystem and
+// verifies the scheduled failure surfaces typed, then recovery finds
+// exactly the batches that were durable before it struck.
+func walFaultScenario(class fault.Class, seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "wal/" + string(class)}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	dir, err := os.MkdirTemp("", "tdgraph-durable-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dir)
+
+	var spec string
+	switch class {
+	case fault.FsyncErr:
+		spec = string(fault.FsyncErr) + ":2" // two good barriers, then fail
+	case fault.DiskFull:
+		spec = string(fault.DiskFull) + ":600" // a few hundred bytes of disk
+	default:
+		return r, fmt.Errorf("%s: not a wal fault class", class)
+	}
+	inj, err := fault.Parse(spec, seed)
+	if err != nil {
+		return r, err
+	}
+
+	l, _, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncEachBatch, FS: inj.FS(wal.OSFS{})})
+	if err != nil {
+		return r, err
+	}
+	durable := 0
+	var appendErr error
+	for i, b := range w.Batches {
+		if appendErr = l.Append(uint64(i+1), b); appendErr != nil {
+			break
+		}
+		durable++
+	}
+	if appendErr == nil {
+		return r, fmt.Errorf("%s: scheduled fault never surfaced", r.Scenario)
+	}
+	if !errors.Is(appendErr, fault.ErrInjected) {
+		return r, fmt.Errorf("%s: error lost the injected sentinel: %w", r.Scenario, appendErr)
+	}
+	durableSeq := l.DurableSeq()
+
+	// Reboot on the clean filesystem: everything durable must replay.
+	l2, _, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncEachBatch})
+	if err != nil {
+		return r, fmt.Errorf("%s: recovery failed: %w", r.Scenario, err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() < durableSeq {
+		return r, fmt.Errorf("%s: durable seq %d lost (recovered %d)", r.Scenario, durableSeq, l2.LastSeq())
+	}
+	r.Outcome = fmt.Sprintf("typed error after %d batches, durable=%d recovered=%d",
+		durable, durableSeq, l2.LastSeq())
+	return r, nil
+}
+
+// killRecoverScenario is the chaos test as a suite row: crash the
+// durable pipeline mid-write, lose the unsynced tail, recover, re-feed,
+// and demand byte-identical final states.
+func killRecoverScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "serve/kill-recover"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+
+	// Reference: the same workload with no crash.
+	ref, err := durableBootstrap(w)()
+	if err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches {
+		if _, err := ref.ApplyBatch(b); err != nil {
+			return r, err
+		}
+	}
+	want := ref.States()
+
+	walDir, err := os.MkdirTemp("", "tdgraph-durable-wal-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(walDir)
+	ckptDir, err := os.MkdirTemp("", "tdgraph-durable-ckpt-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	totalBytes := int64(16)
+	for _, b := range w.Batches {
+		totalBytes += int64(16 + 13*len(b))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	armAt := totalBytes/3 + rng.Int63n(totalBytes/3) // somewhere mid-run
+
+	cfs := fault.NewCrashFS()
+	cfg := serve.PipelineConfig{
+		Bootstrap:       durableBootstrap(w),
+		Algorithm:       tdgraph.NewSSSP(0),
+		WAL:             wal.Options{Dir: walDir, Sync: wal.SyncEachBatch, FS: cfs},
+		CheckpointPath:  filepath.Join(ckptDir, "ckpt.tds"),
+		CheckpointEvery: 2,
+	}
+	p, err := serve.NewPipeline(cfg)
+	if err != nil {
+		return r, err
+	}
+	cfs.ArmCrash(armAt)
+	fed := 0
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(fault.CrashSignal); !ok {
+					panic(rec)
+				}
+			}
+		}()
+		for _, b := range w.Batches {
+			if err := p.Ingest(b); err != nil {
+				return
+			}
+			fed++
+		}
+	}()
+	if !cfs.Crashed() {
+		return r, fmt.Errorf("%s: crash never fired (armed at %d)", r.Scenario, armAt)
+	}
+	if err := cfs.LoseUnsynced(rng); err != nil {
+		return r, err
+	}
+
+	cfg.WAL.FS = wal.OSFS{}
+	p2, err := serve.NewPipeline(cfg)
+	if err != nil {
+		return r, fmt.Errorf("%s: recovery failed: %w", r.Scenario, err)
+	}
+	seq := p2.Seq()
+	if seq < uint64(fed) {
+		return r, fmt.Errorf("%s: durable batch lost (recovered %d, acked %d)", r.Scenario, seq, fed)
+	}
+	for i := int(seq); i < len(w.Batches); i++ {
+		if err := p2.Ingest(w.Batches[i]); err != nil {
+			return r, err
+		}
+	}
+	if err := p2.Close(); err != nil {
+		return r, err
+	}
+	got := p2.Session().States()
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			return r, fmt.Errorf("%s: state of vertex %d diverged after recovery", r.Scenario, v)
+		}
+	}
+	r.Outcome = fmt.Sprintf("killed mid-write (batch %d/%d), recovered seq=%d, states identical",
+		fed+1, len(w.Batches), seq)
+	return r, nil
+}
+
+// backpressureScenario drives the admission queue to overload and
+// verifies granularity grows (batches coalesce) before anything sheds.
+func backpressureScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "serve/backpressure"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	q := serve.NewQueue(serve.QueueConfig{
+		Capacity:        2,
+		Policy:          serve.AdmitShed,
+		MaxBatchUpdates: 3 * len(w.Batches[0]),
+	})
+	shed := 0
+	for _, b := range w.Batches { // no consumer: pure overload
+		if err := q.Put(b); errors.Is(err, serve.ErrShed) {
+			shed++
+		} else if err != nil {
+			return r, err
+		}
+	}
+	st := q.Stats()
+	if st.Coalesced == 0 {
+		return r, fmt.Errorf("%s: queue shed before growing granularity", r.Scenario)
+	}
+	if shed == 0 {
+		return r, fmt.Errorf("%s: bounded queue absorbed unbounded overload", r.Scenario)
+	}
+	r.Outcome = fmt.Sprintf("admitted=%d coalesced=%d shed=%d (granularity grew first)",
+		st.Admitted, st.Coalesced, st.Shed)
+	return r, nil
+}
+
+// stepClock is a deterministic serve.Clock: Sleep advances virtual time
+// instantly, keeping the retry scenario free of wall-clock.
+type stepClock struct{ now time.Time }
+
+func (c *stepClock) Now() time.Time { return c.now }
+
+func (c *stepClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.now = c.now.Add(d)
+	return nil
+}
+
+// retryScenario reads a flaky source through the retry + breaker layer
+// on a virtual clock: every batch is eventually delivered, with the
+// failure pressure absorbed as retries.
+func retryScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "serve/retry-breaker"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	clock := &stepClock{now: time.Unix(0, 0)}
+	fails := 0
+	i := 0
+	flaky := serve.FuncSource(func(ctx context.Context) ([]graph.Update, error) {
+		if fails < 2 { // every read fails twice before succeeding
+			fails++
+			return nil, fmt.Errorf("transient delivery failure %d", fails)
+		}
+		fails = 0
+		if i >= len(w.Batches) {
+			return nil, io.EOF
+		}
+		b := w.Batches[i]
+		i++
+		return b, nil
+	})
+	src := serve.NewRetrySource(flaky, serve.NewBackoff(seed),
+		serve.NewBreaker(5, time.Second, clock), clock, seed)
+	delivered := 0
+	for {
+		_, err := src.Next(context.Background())
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return r, err
+		}
+		delivered++
+	}
+	if delivered != len(w.Batches) {
+		return r, fmt.Errorf("%s: delivered %d of %d batches", r.Scenario, delivered, len(w.Batches))
+	}
+	r.Outcome = fmt.Sprintf("delivered=%d retries=%d breaker-opens=%d",
+		delivered, src.Retries(), src.Breaker().Opens())
+	return r, nil
+}
+
+// RunDurableSuite executes every durability scenario in suite order.
+func RunDurableSuite(o Options) ([]FaultSuiteResult, error) {
+	o = o.withDefaults()
+	var rows []FaultSuiteResult
+	add := func(r FaultSuiteResult, err error) error {
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+		return nil
+	}
+	if err := add(tornTailScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	for _, class := range []fault.Class{fault.FsyncErr, fault.DiskFull} {
+		if err := add(walFaultScenario(class, o.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(killRecoverScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(backpressureScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(retryScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func expDurable(w io.Writer, o Options) error {
+	rows, err := RunDurableSuite(o)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Durability: WAL + serve recovery suite",
+		Header: []string{"scenario", "outcome"},
+		Comment: "torn tails truncated, injected I/O faults typed, kill -9 recovered with\n" +
+			"byte-identical states, overload degraded by granularity before shedding",
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, r.Outcome)
+	}
+	return o.render(t, w)
+}
+
+func init() {
+	register("durable", "Durability: WAL + serve recovery suite", expDurable)
+}

@@ -56,12 +56,26 @@ const (
 	// Diverge corrupts converged vertex states in place (param: count),
 	// modelling silent state corruption the audit must catch.
 	Diverge Class = "diverge"
+	// WALTorn tears the write-ahead-log write crossing a global byte
+	// offset (param: bytes before the tear): a prefix persists, the
+	// rest vanishes mid-record. Armed through Injector.FS.
+	WALTorn Class = "wal-torn"
+	// FsyncErr fails WAL fsync barriers (param: successful fsyncs
+	// before the failure). Armed through Injector.FS.
+	FsyncErr Class = "fsync-err"
+	// DiskFull fails WAL writes outright after a global byte budget
+	// (param: bytes before the disk fills). Armed through Injector.FS.
+	DiskFull Class = "disk-full"
+	// PartialSeg drops the tail of a serialised WAL segment (param:
+	// fraction removed), the on-disk shape of a half-flushed segment.
+	PartialSeg Class = "wal-partial"
 )
 
 // Classes lists every recognised fault class.
 var Classes = []Class{
 	Corrupt, Duplicate, Reorder, OutOfRange, BadWeight, SelfLoop,
 	CkptFlip, CkptTruncate, ReadErr, WriteErr, Hang, Diverge,
+	WALTorn, FsyncErr, DiskFull, PartialSeg,
 }
 
 // defaultParam is the per-class parameter used when a spec arms a class
@@ -79,6 +93,10 @@ var defaultParam = map[Class]float64{
 	WriteErr:     256,
 	Hang:         1,
 	Diverge:      4,
+	WALTorn:      256,
+	FsyncErr:     2,
+	DiskFull:     1024,
+	PartialSeg:   0.25,
 }
 
 // ErrInjected is the sentinel every scheduled I/O failure wraps, so
@@ -267,6 +285,27 @@ func (in *Injector) CorruptCheckpoint(data []byte) []byte {
 		}
 	}
 	return out
+}
+
+// CorruptSegment applies the armed PartialSeg class to a copy of a
+// serialised WAL segment: the tail fraction is dropped (at least one
+// byte), leaving the half-flushed segment recovery must truncate.
+func (in *Injector) CorruptSegment(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	frac, ok := in.armed[PartialSeg]
+	if !ok || len(out) == 0 {
+		return out
+	}
+	in.count(PartialSeg)
+	keep := len(out) - int(float64(len(out))*frac)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= len(out) {
+		keep = len(out) - 1
+	}
+	return out[:keep]
 }
 
 // CorruptStates silently corrupts Param(Diverge) vertex states in place

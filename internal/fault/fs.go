@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// This file is the WAL-level fault surface: an injector-driven wal.FS
+// that schedules torn writes, fsync failures and a full disk on the
+// write-ahead log's own filesystem seam, and CrashFS, a deterministic
+// kill-simulation filesystem for the chaos suite (everything past the
+// last fsync barrier may be lost, exactly like a power cut under a
+// page cache).
+
+// FS wraps base with the armed WAL fault classes. Budgets are global
+// across all files the returned FS creates, so a fault lands at a
+// byte position in the log's lifetime, not per segment:
+//
+//   - DiskFull: after Param(disk-full) bytes, every write fails with an
+//     error wrapping ErrInjected and persists nothing further.
+//   - WALTorn: the write crossing byte Param(wal-torn) persists only up
+//     to the boundary, then fails — a torn record mid-write.
+//   - FsyncErr: after Param(fsync-err) successful Syncs, Sync fails
+//     with an error wrapping ErrInjected.
+//
+// Reads, listing and removal pass through untouched.
+func (in *Injector) FS(base wal.FS) wal.FS {
+	f := &faultFS{FS: base, in: in}
+	if limit, ok := in.armed[DiskFull]; ok {
+		f.writeBudget, f.haveBudget, f.full = int64(limit), true, true
+	}
+	if limit, ok := in.armed[WALTorn]; ok {
+		f.writeBudget, f.haveBudget = int64(limit), true
+	}
+	if n, ok := in.armed[FsyncErr]; ok {
+		f.syncBudget, f.haveSync = int(n), true
+	}
+	return f
+}
+
+type faultFS struct {
+	wal.FS
+	in *Injector
+
+	mu          sync.Mutex
+	writeBudget int64
+	haveBudget  bool
+	full        bool // DiskFull (persist nothing at the fault) vs WALTorn (tear)
+	syncBudget  int
+	haveSync    bool
+}
+
+func (f *faultFS) Create(path string) (wal.File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+type faultFile struct {
+	wal.File
+	fs *faultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.haveBudget {
+		return ff.File.Write(p)
+	}
+	if int64(len(p)) <= f.writeBudget {
+		n, err := ff.File.Write(p)
+		f.writeBudget -= int64(n)
+		return n, err
+	}
+	n := 0
+	if !f.full && f.writeBudget > 0 {
+		// Torn write: the prefix up to the boundary reaches the file.
+		n, _ = ff.File.Write(p[:f.writeBudget])
+	}
+	f.writeBudget = 0
+	if f.full {
+		f.in.count(DiskFull)
+		return n, fmt.Errorf("fault: disk full: %w", ErrInjected)
+	}
+	f.in.count(WALTorn)
+	return n, fmt.Errorf("fault: torn write: %w", ErrInjected)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.haveSync {
+		if f.syncBudget <= 0 {
+			f.in.count(FsyncErr)
+			return fmt.Errorf("fault: fsync failed: %w", ErrInjected)
+		}
+		f.syncBudget--
+	}
+	return ff.File.Sync()
+}
+
+// CrashSignal is the panic value CrashFS throws at the armed crash
+// point — the in-process stand-in for kill -9. The chaos harness
+// recovers it and then runs real recovery against what "survived".
+type CrashSignal struct{ Path string }
+
+func (c CrashSignal) String() string { return "fault: simulated crash during write to " + c.Path }
+
+// CrashFS simulates sudden process death with page-cache loss on top
+// of a real directory. Writes pass through to the real files while the
+// FS tracks, per file, the byte offset covered by the last successful
+// Sync. Arm a crash at a global byte offset; the write that crosses it
+// persists up to the boundary and then panics with CrashSignal —
+// control never returns to the writer, exactly like a kill. Afterwards
+// LoseUnsynced drops a seeded random amount of each file's unsynced
+// tail, modelling dirty pages that never reached the platter. Bytes
+// before a file's last fsync are never touched: the fsync barrier is
+// the guarantee under test.
+//
+// The zero value is not usable; NewCrashFS wraps the real filesystem.
+// CrashFS is single-goroutine like the log that drives it.
+type CrashFS struct {
+	base    wal.FS
+	mu      sync.Mutex
+	files   map[string]*crashFile
+	armed   bool
+	fuse    int64 // bytes of write budget left before the crash
+	crashed bool
+}
+
+// NewCrashFS returns a CrashFS over the real filesystem.
+func NewCrashFS() *CrashFS {
+	return &CrashFS{base: wal.OSFS{}, files: make(map[string]*crashFile)}
+}
+
+// ArmCrash schedules the crash after the next afterBytes written bytes
+// (across all files). afterBytes 0 crashes on the very next write.
+func (c *CrashFS) ArmCrash(afterBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed, c.fuse, c.crashed = true, afterBytes, false
+}
+
+// Crashed reports whether the armed crash has fired.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// LoseUnsynced simulates the page cache dying with the process: for
+// every tracked file, a seeded random prefix of the bytes written
+// since its last successful Sync survives and the rest is truncated
+// away. Synced bytes always survive. Call after the CrashSignal panic
+// has been recovered; the handles are closed as a side effect.
+func (c *CrashFS) LoseUnsynced(rng *rand.Rand) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for path, f := range c.files {
+		f.f.Close()
+		if f.written > f.synced {
+			keep := f.synced + rng.Int63n(f.written-f.synced+1)
+			if err := c.base.Truncate(path, keep); err != nil {
+				return err
+			}
+		}
+		delete(c.files, path)
+	}
+	return nil
+}
+
+type crashFile struct {
+	fs      *CrashFS
+	path    string
+	f       wal.File
+	written int64 // bytes physically written so far
+	synced  int64 // bytes covered by the last successful Sync
+}
+
+func (c *CrashFS) Create(path string) (wal.File, error) {
+	f, err := c.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cf := &crashFile{fs: c, path: path, f: f}
+	c.mu.Lock()
+	c.files[path] = cf
+	c.mu.Unlock()
+	return cf, nil
+}
+
+func (cf *crashFile) Write(p []byte) (int, error) {
+	c := cf.fs
+	c.mu.Lock()
+	if c.armed && !c.crashed && int64(len(p)) > c.fuse {
+		// Persist up to the boundary, then die mid-write.
+		n, _ := cf.f.Write(p[:c.fuse])
+		cf.written += int64(n)
+		c.crashed, c.armed = true, false
+		c.mu.Unlock()
+		panic(CrashSignal{Path: cf.path})
+	}
+	if c.armed {
+		c.fuse -= int64(len(p))
+	}
+	c.mu.Unlock()
+	n, err := cf.f.Write(p)
+	cf.written += int64(n)
+	return n, err
+}
+
+func (cf *crashFile) Sync() error {
+	if err := cf.f.Sync(); err != nil {
+		return err
+	}
+	cf.synced = cf.written
+	return nil
+}
+
+func (cf *crashFile) Close() error {
+	c := cf.fs
+	c.mu.Lock()
+	delete(c.files, cf.path)
+	c.mu.Unlock()
+	return cf.f.Close()
+}
+
+func (c *CrashFS) Open(path string) (io.ReadCloser, error) { return c.base.Open(path) }
+
+func (c *CrashFS) Remove(path string) error {
+	c.mu.Lock()
+	delete(c.files, path)
+	c.mu.Unlock()
+	return c.base.Remove(path)
+}
+
+func (c *CrashFS) Truncate(path string, size int64) error { return c.base.Truncate(path, size) }
+
+func (c *CrashFS) List(dir string) ([]string, error) { return c.base.List(dir) }
+
+func (c *CrashFS) SyncDir(dir string) error { return c.base.SyncDir(dir) }

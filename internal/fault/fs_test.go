@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+func walBatch(seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([]graph.Update, 8)
+	for i := range batch {
+		batch[i] = graph.Update{Edge: graph.Edge{
+			Src:    graph.VertexID(rng.Intn(100)),
+			Dst:    graph.VertexID(rng.Intn(100)),
+			Weight: float32(rng.Float64()),
+		}}
+	}
+	return batch
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := New(7)
+	in.Arm(WALTorn, 150) // tear inside the second record
+	l, _, err := wal.Open(wal.Options{Dir: dir, FS: in.FS(wal.OSFS{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, walBatch(1)); err != nil {
+		t.Fatalf("first append should fit under the tear budget: %v", err)
+	}
+	err = l.Append(2, walBatch(2))
+	if err == nil {
+		t.Fatal("torn write did not surface")
+	}
+	var le *wal.LogError
+	if !errors.As(err, &le) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want *wal.LogError wrapping ErrInjected", err)
+	}
+	if got := in.Injected(); len(got) != 1 || got[0].Class != WALTorn {
+		t.Fatalf("injected counts: %v", got)
+	}
+
+	// Recovery over the real files truncates the torn record: seq 1
+	// survives, the torn seq 2 is gone.
+	l2, rec, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if rec.LastSeq != 1 || rec.TornSegment == "" {
+		t.Fatalf("recovery %+v, want LastSeq=1 with a torn tail", rec)
+	}
+	l2.Close()
+}
+
+func TestFaultFSDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	in := New(7)
+	in.Arm(DiskFull, 120)
+	l, _, err := wal.Open(wal.Options{Dir: dir, FS: in.FS(wal.OSFS{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ferr error
+	for seq := uint64(1); seq <= 8; seq++ {
+		if ferr = l.Append(seq, walBatch(int64(seq))); ferr != nil {
+			break
+		}
+	}
+	if ferr == nil {
+		t.Fatal("disk-full never surfaced")
+	}
+	if !errors.Is(ferr, ErrInjected) {
+		t.Fatalf("error lost the injected sentinel: %v", ferr)
+	}
+}
+
+func TestFaultFSFsyncErr(t *testing.T) {
+	dir := t.TempDir()
+	in := New(7)
+	in.Arm(FsyncErr, 1) // one good fsync, then failure
+	l, _, err := wal.Open(wal.Options{Dir: dir, FS: in.FS(wal.OSFS{}), Sync: wal.SyncEachBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, walBatch(1)); err != nil {
+		t.Fatalf("first append (budgeted fsync): %v", err)
+	}
+	err = l.Append(2, walBatch(2))
+	if err == nil {
+		t.Fatal("fsync error did not surface")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error lost the injected sentinel: %v", err)
+	}
+	if l.DurableSeq() != 1 {
+		t.Fatalf("durable=%d after failed fsync, want 1", l.DurableSeq())
+	}
+}
+
+func TestCorruptSegment(t *testing.T) {
+	in := New(3)
+	in.Arm(PartialSeg, 0.5)
+	data := make([]byte, 100)
+	out := in.CorruptSegment(data)
+	if len(out) != 50 {
+		t.Fatalf("len=%d, want 50", len(out))
+	}
+	// Disarmed: untouched copy.
+	if got := New(3).CorruptSegment(data); len(got) != 100 {
+		t.Fatalf("disarmed CorruptSegment changed length to %d", len(got))
+	}
+}
+
+func TestCrashFSLosesOnlyUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS()
+	l, _, err := wal.Open(wal.Options{Dir: dir, FS: cfs, Sync: wal.SyncEachBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two synced batches, then crash mid-write of the third.
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := l.Append(seq, walBatch(int64(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfs.ArmCrash(10) // die 10 bytes into the next record
+	func() {
+		defer func() {
+			if _, ok := recover().(CrashSignal); !ok {
+				t.Fatal("armed crash did not fire as CrashSignal")
+			}
+		}()
+		l.Append(3, walBatch(3))
+		t.Fatal("append survived the armed crash")
+	}()
+	if !cfs.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+	if err := cfs.LoseUnsynced(rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if rec.LastSeq != 2 {
+		t.Fatalf("recovered LastSeq=%d, want the 2 fsynced batches", rec.LastSeq)
+	}
+	n := 0
+	if err := l2.Replay(1, func(seq uint64, b []graph.Update) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records, want 2", n)
+	}
+	l2.Close()
+}
+
+func TestCrashFSDelegates(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS()
+	path := filepath.Join(dir, "x")
+	f, err := cfs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := cfs.List(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List: %v %v", names, err)
+	}
+	if err := cfs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Remove did not delete the file")
+	}
+}
+
+func TestParseNewClasses(t *testing.T) {
+	in, err := Parse("wal-torn:64,fsync-err,disk-full:2048,wal-partial", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Class{WALTorn, FsyncErr, DiskFull, PartialSeg} {
+		if !in.Enabled(c) {
+			t.Fatalf("class %s not armed by Parse", c)
+		}
+	}
+	if in.Param(WALTorn) != 64 || in.Param(FsyncErr) != defaultParam[FsyncErr] {
+		t.Fatalf("params: torn=%v fsync=%v", in.Param(WALTorn), in.Param(FsyncErr))
+	}
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/stream"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// PipelineConfig wires the durable core together.
+type PipelineConfig struct {
+	// Bootstrap builds the fresh session serving starts from when no
+	// checkpoint generation is recoverable (first boot, or every
+	// generation corrupt): the state at sequence zero.
+	Bootstrap func() (*tdgraph.Session, error)
+	// Algorithm restores checkpoints; it must match the one Bootstrap
+	// configures (same parameters).
+	Algorithm tdgraph.Algorithm
+	// SessionOptions apply to restored sessions.
+	SessionOptions tdgraph.SessionOptions
+	// WAL configures the write-ahead log (Dir must exist).
+	WAL wal.Options
+	// CheckpointPath roots the rotating checkpoint generations; empty
+	// disables checkpointing (the WAL alone carries recovery).
+	CheckpointPath string
+	// CheckpointKeep is the generations retained (default 2).
+	CheckpointKeep int
+	// CheckpointEvery checkpoints after every N ingested batches
+	// (default 16; <0 disables periodic checkpoints).
+	CheckpointEvery int
+	// Collector receives the pipeline's counters (nil = private).
+	Collector *stats.Collector
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = 2
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 16
+	}
+	if c.Collector == nil {
+		c.Collector = stats.NewCollector()
+	}
+	return c
+}
+
+// IngestError locates a pipeline failure by stage, so the supervisor
+// knows whether the batch reached durability: "wal" failures happened
+// before the batch was persisted (it must be re-sent), "apply" and
+// "checkpoint" failures happened after (recovery replays it from the
+// log). errors.Is/As see through to the underlying cause.
+type IngestError struct {
+	Seq   uint64
+	Stage string // "wal" | "apply" | "checkpoint"
+	Err   error
+}
+
+func (e *IngestError) Error() string {
+	return fmt.Sprintf("serve: ingest seq %d: %s stage: %v", e.Seq, e.Stage, e.Err)
+}
+
+func (e *IngestError) Unwrap() error { return e.Err }
+
+// Durable reports whether the failed batch was already persisted in
+// the WAL when the error struck — if so, recovery replays it and the
+// source must NOT re-send it.
+func (e *IngestError) Durable() bool { return e.Stage != "wal" }
+
+// Pipeline is the synchronous durable core of the serve loop: one
+// goroutine feeds it admitted batches, and every batch is appended to
+// the write-ahead log (fsynced per policy) before it touches the
+// session. Checkpoints are cut every CheckpointEvery batches with the
+// covered sequence stored in the generation's metadata sidecar, and
+// WAL retention advances only past the OLDEST retained generation, so
+// a fallback restore always finds its replay tail.
+type Pipeline struct {
+	cfg  PipelineConfig
+	sess *tdgraph.Session
+	log  *wal.Log
+	ck   *tdgraph.Checkpointer
+	seq  uint64 // last ingested (or replayed) sequence
+	col  *stats.Collector
+
+	sinceCkpt int
+}
+
+// NewPipeline recovers the durable state and returns a pipeline ready
+// to ingest: newest checkpoint generation with valid metadata (or
+// Bootstrap when none), torn-tail WAL repair, then replay of every
+// logged batch past the checkpoint. Recovery is deterministic: the
+// rebuilt session is byte-identical to one that processed the same
+// durable prefix without crashing.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{cfg: cfg, col: cfg.Collector}
+
+	// Rung 1: newest recoverable checkpoint generation, with the WAL
+	// sequence it covers from its metadata sidecar.
+	if cfg.CheckpointPath != "" {
+		p.ck = &tdgraph.Checkpointer{Path: cfg.CheckpointPath, Keep: cfg.CheckpointKeep}
+		sess, meta, skipped, err := p.ck.LoadWithMeta(cfg.Algorithm, cfg.SessionOptions)
+		if err == nil {
+			seq, derr := decodeSeqMeta(meta)
+			if derr != nil {
+				return nil, derr
+			}
+			p.sess, p.seq = sess, seq
+			for range skipped {
+				p.col.Inc(stats.CtrCheckpointRecovered)
+			}
+		}
+	}
+	if p.sess == nil {
+		sess, err := cfg.Bootstrap()
+		if err != nil {
+			return nil, fmt.Errorf("serve: bootstrap: %w", err)
+		}
+		p.sess = sess
+		p.seq = 0
+	}
+
+	// Rung 2: open the WAL, repairing any torn tail.
+	l, rec, err := wal.Open(cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	p.log = l
+	if rec.Repaired() {
+		p.col.Inc(stats.CtrWALTornRecovered)
+	}
+
+	// Rung 3: replay every durable batch the checkpoint doesn't cover.
+	err = l.Replay(p.seq+1, func(seq uint64, batch []graph.Update) error {
+		p.applyLogged(seq, batch)
+		p.col.Inc(stats.CtrWALReplayed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if last := l.LastSeq(); last > p.seq {
+		p.seq = last
+	}
+	return p, nil
+}
+
+// Session exposes the live session (read-only use: states, stats).
+func (p *Pipeline) Session() *tdgraph.Session { return p.sess }
+
+// Seq returns the last ingested sequence.
+func (p *Pipeline) Seq() uint64 { return p.seq }
+
+// Collector returns the pipeline's counter set.
+func (p *Pipeline) Collector() *stats.Collector { return p.col }
+
+// applyLogged applies a batch that is already durable. Failures a
+// deterministic replay would reproduce — validation rejections,
+// recovered panics (the session self-heals) — are absorbed and
+// counted, exactly as the live path absorbs them, so a recovered
+// pipeline converges to the same states as an uninterrupted one.
+func (p *Pipeline) applyLogged(seq uint64, batch []graph.Update) {
+	_, err := p.sess.ApplyBatch(batch)
+	if err == nil {
+		return
+	}
+	var pe *tdgraph.PanicError
+	var ve *stream.ValidationError
+	switch {
+	case errors.As(err, &pe):
+		// Self-healed inside the session; the counters already track it.
+	case errors.As(err, &ve):
+		p.col.Inc(stats.CtrServeRejected)
+	default:
+		p.col.Inc(stats.CtrServeRejected)
+	}
+	_ = seq
+}
+
+// Ingest makes one batch durable and applies it: WAL append (fsync per
+// policy), session apply, periodic checkpoint. The returned error is
+// always an *IngestError whose Stage says whether the batch got as far
+// as the log.
+func (p *Pipeline) Ingest(batch []graph.Update) error {
+	seq := p.seq + 1
+	if err := p.log.Append(seq, batch); err != nil {
+		return &IngestError{Seq: seq, Stage: "wal", Err: err}
+	}
+	p.seq = seq
+	p.col.Inc(stats.CtrWALAppends)
+	p.applyLogged(seq, batch)
+	p.col.Inc(stats.CtrServeIngested)
+
+	if p.ck != nil && p.cfg.CheckpointEvery > 0 {
+		p.sinceCkpt++
+		if p.sinceCkpt >= p.cfg.CheckpointEvery {
+			if err := p.Checkpoint(); err != nil {
+				return &IngestError{Seq: seq, Stage: "checkpoint", Err: err}
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint cuts a generation now: WAL barrier, rotate + save with
+// the covered sequence in the metadata sidecar, then advance WAL
+// retention past the oldest retained generation.
+func (p *Pipeline) Checkpoint() error {
+	if p.ck == nil {
+		return nil
+	}
+	// The checkpoint must never cover more than the log can replay:
+	// fsync first so every covered batch is durable.
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	if err := p.ck.SaveWithMeta(p.sess, encodeSeqMeta(p.seq)); err != nil {
+		return err
+	}
+	p.sinceCkpt = 0
+	p.col.Inc(stats.CtrServeCheckpoints)
+
+	// Retention: the oldest retained generation pins the replay tail.
+	oldest := p.seq
+	for _, m := range p.ck.Metas() {
+		if m == nil {
+			continue
+		}
+		if seq, err := decodeSeqMeta(m); err == nil && seq < oldest {
+			oldest = seq
+		}
+	}
+	if err := p.log.TruncateThrough(oldest); err != nil {
+		return err
+	}
+	p.syncWALStats()
+	return nil
+}
+
+// Close drains the pipeline durably: final WAL barrier, final
+// checkpoint generation, close the log. The final checkpoint makes the
+// next boot instant (nothing to replay) but its absence is safe — the
+// log alone recovers everything.
+func (p *Pipeline) Close() error {
+	var firstErr error
+	if err := p.log.Sync(); err != nil {
+		firstErr = err
+	}
+	if p.ck != nil && firstErr == nil {
+		if err := p.Checkpoint(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := p.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	p.syncWALStats()
+	return firstErr
+}
+
+func (p *Pipeline) syncWALStats() {
+	ls := p.log.Stats()
+	p.col.Set(stats.CtrWALFsyncs, ls.Fsyncs)
+	p.col.Set(stats.CtrWALRotations, ls.Rotations)
+	p.col.Set(stats.CtrWALRetained, ls.Removed)
+}
+
+// encodeSeqMeta / decodeSeqMeta frame the one fact a checkpoint needs
+// alongside its states: the WAL sequence it covers.
+func encodeSeqMeta(seq uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	return b[:]
+}
+
+func decodeSeqMeta(meta []byte) (uint64, error) {
+	if len(meta) != 8 {
+		return 0, fmt.Errorf("serve: checkpoint meta is %d bytes, want 8", len(meta))
+	}
+	return binary.LittleEndian.Uint64(meta), nil
+}

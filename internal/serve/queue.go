@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stream"
+)
+
+// AdmitPolicy selects what a full queue does with the next batch.
+type AdmitPolicy int
+
+const (
+	// AdmitBlock applies backpressure: Put blocks until space opens
+	// (after granularity growth is exhausted).
+	AdmitBlock AdmitPolicy = iota
+	// AdmitShed drops the incoming batch with ErrShed once granularity
+	// growth is exhausted — availability over completeness.
+	AdmitShed
+)
+
+// ParseAdmitPolicy maps a -admit flag value to a policy.
+func ParseAdmitPolicy(s string) (AdmitPolicy, error) {
+	switch s {
+	case "", "block":
+		return AdmitBlock, nil
+	case "shed":
+		return AdmitShed, nil
+	}
+	return 0, errors.New("serve: unknown admission policy " + s + " (block|shed)")
+}
+
+// ErrShed reports a batch dropped by admission control.
+var ErrShed = errors.New("serve: batch shed by admission control")
+
+// ErrQueueClosed reports an operation on a closed queue: Put after
+// Close, or Get after Close once the queue has drained.
+var ErrQueueClosed = errors.New("serve: ingest queue closed")
+
+// QueueConfig bounds the ingest queue.
+type QueueConfig struct {
+	// Capacity is the maximum queued batches (default 16).
+	Capacity int
+	// Policy is what a full queue does (default AdmitBlock).
+	Policy AdmitPolicy
+	// MaxBatchUpdates caps a coalesced batch's size; merging two queued
+	// batches frees a slot only while the result stays within it
+	// (default 4× the average queued batch, effectively unbounded at 0).
+	MaxBatchUpdates int
+}
+
+// QueueStats counts admission outcomes.
+type QueueStats struct {
+	Admitted  uint64 // batches accepted
+	Shed      uint64 // batches dropped (AdmitShed)
+	Coalesced uint64 // merges performed to absorb overload
+	MaxDepth  int    // high-water mark of queued batches
+}
+
+// Queue is the bounded buffer between sources and the durable
+// pipeline. Under overload it first grows batch granularity — the two
+// oldest queued batches merge into one, trading incremental-processing
+// efficiency for queue space — and only when no merge is possible does
+// the admission policy decide between blocking and shedding. Safe for
+// one producer and one consumer (or several of each).
+type Queue struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    [][]graph.Update
+	cfg      QueueConfig
+	closed   bool
+	stats    QueueStats
+}
+
+// NewQueue returns an open queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 16
+	}
+	q := &Queue{cfg: cfg}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put admits one batch, applying granularity growth and then the
+// admission policy when the queue is full. Returns ErrShed when the
+// batch was dropped, ErrQueueClosed after Close.
+func (q *Queue) Put(batch []graph.Update) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return ErrQueueClosed
+		}
+		if len(q.items) < q.cfg.Capacity {
+			q.items = append(q.items, batch)
+			q.stats.Admitted++
+			if len(q.items) > q.stats.MaxDepth {
+				q.stats.MaxDepth = len(q.items)
+			}
+			q.notEmpty.Signal()
+			return nil
+		}
+		if q.coalesceLocked() {
+			continue // a slot opened by merging; admit on the next pass
+		}
+		if q.cfg.Policy == AdmitShed {
+			q.stats.Shed++
+			return ErrShed
+		}
+		q.notFull.Wait()
+	}
+}
+
+// coalesceLocked merges the two oldest queued batches when the result
+// respects MaxBatchUpdates, freeing one slot. Oldest first: the oldest
+// work degrades to coarser granularity while fresh batches stay sharp.
+func (q *Queue) coalesceLocked() bool {
+	if len(q.items) < 2 {
+		return false
+	}
+	max := q.cfg.MaxBatchUpdates
+	if max > 0 && len(q.items[0])+len(q.items[1]) > max {
+		return false
+	}
+	merged := stream.MergeBatches(q.items[0], q.items[1])
+	q.items = append([][]graph.Update{merged}, q.items[2:]...)
+	q.stats.Coalesced++
+	return true
+}
+
+// Get removes the oldest batch, blocking while the queue is empty and
+// open. After Close it drains the remaining batches and then returns
+// ErrQueueClosed.
+func (q *Queue) Get() ([]graph.Update, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.items) > 0 {
+			batch := q.items[0]
+			q.items = q.items[1:]
+			q.notFull.Signal()
+			return batch, nil
+		}
+		if q.closed {
+			return nil, ErrQueueClosed
+		}
+		q.notEmpty.Wait()
+	}
+}
+
+// Close stops admission and wakes every waiter. Queued batches remain
+// drainable via Get.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Len returns the current depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats returns the admission counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}

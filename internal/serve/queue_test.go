@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+func mkBatch(n int, base uint32) []graph.Update {
+	b := make([]graph.Update, n)
+	for i := range b {
+		b[i] = graph.Update{Edge: graph.Edge{Src: base + uint32(i), Dst: base + uint32(i) + 1, Weight: 1}}
+	}
+	return b
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 4})
+	for i := 0; i < 3; i++ {
+		if err := q.Put(mkBatch(2, uint32(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0].Edge.Src != uint32(i*10) {
+			t.Fatalf("batch %d out of order: src %d", i, b[0].Edge.Src)
+		}
+	}
+}
+
+// TestQueueCoalesce: a full queue first grows batch granularity — the
+// two oldest batches merge, freeing the slot — before any policy runs.
+func TestQueueCoalesce(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2, Policy: AdmitShed})
+	if err := q.Put(mkBatch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(mkBatch(3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(mkBatch(1, 200)); err != nil {
+		t.Fatalf("put into coalescable queue failed: %v", err)
+	}
+	st := q.Stats()
+	if st.Coalesced != 1 || st.Shed != 0 {
+		t.Fatalf("stats %+v, want 1 coalesce and no shed", st)
+	}
+	merged, err := q.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 5 || merged[0].Edge.Src != 0 || merged[2].Edge.Src != 100 {
+		t.Fatalf("merged batch wrong: len %d", len(merged))
+	}
+	fresh, _ := q.Get()
+	if len(fresh) != 1 || fresh[0].Edge.Src != 200 {
+		t.Fatal("fresh batch disturbed by coalescing")
+	}
+}
+
+// TestQueueShed: once MaxBatchUpdates blocks merging, AdmitShed drops
+// the incoming batch with ErrShed.
+func TestQueueShed(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2, Policy: AdmitShed, MaxBatchUpdates: 4})
+	q.Put(mkBatch(3, 0))
+	q.Put(mkBatch(3, 100)) // 3+3 > 4: no merge possible
+	err := q.Put(mkBatch(1, 200))
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	if st := q.Stats(); st.Shed != 1 || st.Admitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestQueueBlocking: AdmitBlock parks the producer until the consumer
+// frees a slot.
+func TestQueueBlocking(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 1, MaxBatchUpdates: 1}) // merges impossible (1+1 > 1)
+	if err := q.Put(mkBatch(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Put(mkBatch(1, 100)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("put did not block on a full queue (err %v)", err)
+	default:
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("unblocked put failed: %v", err)
+	}
+}
+
+// TestQueueCloseDrains: Close stops admission but queued batches stay
+// drainable; Get reports ErrQueueClosed only once empty.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 4})
+	q.Put(mkBatch(1, 0))
+	q.Put(mkBatch(1, 10))
+	q.Close()
+	if err := q.Put(mkBatch(1, 20)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := q.Get(); err != nil {
+			t.Fatalf("drain batch %d: %v", i, err)
+		}
+	}
+	if _, err := q.Get(); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("get after drain: %v", err)
+	}
+}
+
+// TestQueueCloseWakesWaiters: a consumer parked on an empty queue and a
+// producer parked on a full one both wake when Close is called.
+func TestQueueCloseWakesWaiters(t *testing.T) {
+	empty := NewQueue(QueueConfig{Capacity: 1})
+	full := NewQueue(QueueConfig{Capacity: 1, MaxBatchUpdates: 1})
+	full.Put(mkBatch(1, 0))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := empty.Get(); !errors.Is(err, ErrQueueClosed) {
+			t.Errorf("parked Get woke with %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := full.Put(mkBatch(1, 10)); !errors.Is(err, ErrQueueClosed) {
+			t.Errorf("parked Put woke with %v", err)
+		}
+	}()
+	empty.Close()
+	full.Close()
+	wg.Wait()
+}

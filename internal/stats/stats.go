@@ -181,6 +181,24 @@ const (
 	CtrCheckpointRecovered = "robust.checkpoint_recoveries"  // loads served by an older generation
 	CtrWatchdogTrips       = "robust.watchdog_trips"         // runs aborted by the watchdog
 	CtrAuditDivergence     = "robust.audit_divergent_vertex" // vertices failing the audit invariant
+
+	// Durable ingestion events (internal/wal + internal/serve).
+	CtrWALAppends       = "wal.appends"              // batches appended to the log
+	CtrWALFsyncs        = "wal.fsyncs"               // fsync barriers issued
+	CtrWALRotations     = "wal.segment_rotations"    // segments sealed
+	CtrWALRetained      = "wal.segments_removed"     // segments deleted by retention
+	CtrWALReplayed      = "wal.records_replayed"     // records reapplied during recovery
+	CtrWALTornRecovered = "wal.torn_tail_recoveries" // torn tails truncated at open
+	CtrServeAdmitted    = "serve.batches_admitted"   // batches accepted into the queue
+	CtrServeShed        = "serve.batches_shed"       // batches dropped by admission control
+	CtrServeCoalesced   = "serve.batches_coalesced"  // merges performed under backpressure
+	CtrServeIngested    = "serve.batches_ingested"   // batches durably applied
+	CtrServeRejected    = "serve.batches_rejected"   // batches refused by validation during ingest
+	CtrServeRetries     = "serve.source_retries"     // source reads retried with backoff
+	CtrServeBreakerOpen = "serve.breaker_opens"      // circuit-breaker open transitions
+	CtrServeRestarts    = "serve.session_restarts"   // supervisor-driven session restarts
+	CtrServePoisoned    = "serve.batches_poisoned"   // batches skipped after repeated failures
+	CtrServeCheckpoints = "serve.checkpoints"        // checkpoint generations written
 )
 
 // Series is an ordered list of labelled float values — one bar group or one

@@ -146,3 +146,30 @@ func (w *Workload) TotalUpdates() int {
 	}
 	return n
 }
+
+// MergeBatches concatenates two batches into a fresh slice, preserving
+// update order — the granularity-growing step of overload degradation:
+// applying the merged batch converges to the same states as applying
+// the two in sequence, at one batch's fixed cost instead of two.
+func MergeBatches(a, b []graph.Update) []graph.Update {
+	out := make([]graph.Update, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Coalesce greedily merges adjacent batches while the merged size stays
+// within maxUpdates (0 = unlimited, collapsing everything into one
+// batch). Order is preserved. The serve queue uses it to trade batch
+// granularity for queue space under backpressure.
+func Coalesce(batches [][]graph.Update, maxUpdates int) [][]graph.Update {
+	var out [][]graph.Update
+	for _, b := range batches {
+		last := len(out) - 1
+		if last >= 0 && (maxUpdates <= 0 || len(out[last])+len(b) <= maxUpdates) {
+			out[last] = MergeBatches(out[last], b)
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the write handle the log needs from its filesystem: ordered
+// writes, explicit durability, close. *os.File satisfies it.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts every filesystem operation the log performs, so the fault
+// injector can interpose torn writes, fsync failures, full disks, and
+// crash simulation (discarding bytes past the last fsync barrier). All
+// paths are absolute or relative exactly as the log passes them.
+type FS interface {
+	// Create truncates/creates path for writing.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes — the tail repair primitive.
+	Truncate(path string, size int64) error
+	// List returns the base names of the regular files in dir, sorted.
+	List(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself so entry creates, removes and
+	// renames survive a crash (POSIX does not order them otherwise).
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: the real filesystem via package os.
+type OSFS struct{}
+
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

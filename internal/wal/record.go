@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// updateBytes is the fixed wire size of one update inside a record
+// payload: src u32 | dst u32 | weight-bits u32 | flags u8.
+const updateBytes = 13
+
+const flagDelete = 1 << 0
+
+func encodeSegHeader(baseSeq uint64) [segHeaderSize]byte {
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], baseSeq)
+	return hdr
+}
+
+// encodeRecord frames a payload: seq u64 | len u32 | crc u32 | payload,
+// the CRC covering seq, length and payload together so no field can be
+// torn or flipped undetected.
+func encodeRecord(seq uint64, payload []byte) []byte {
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint64(rec[0:8], seq)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
+	copy(rec[recHeaderSize:], payload)
+	crc := crc32.ChecksumIEEE(rec[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(rec[12:16], crc)
+	return rec
+}
+
+// EncodeBatch serialises a batch as a record payload: count u32 then a
+// fixed 13-byte frame per update.
+func EncodeBatch(batch []graph.Update) []byte {
+	p := make([]byte, 4+updateBytes*len(batch))
+	binary.LittleEndian.PutUint32(p[0:4], uint32(len(batch)))
+	off := 4
+	for _, u := range batch {
+		binary.LittleEndian.PutUint32(p[off:], u.Edge.Src)
+		binary.LittleEndian.PutUint32(p[off+4:], u.Edge.Dst)
+		binary.LittleEndian.PutUint32(p[off+8:], math.Float32bits(u.Edge.Weight))
+		if u.Delete {
+			p[off+12] = flagDelete
+		}
+		off += updateBytes
+	}
+	return p
+}
+
+// DecodeBatch parses an EncodeBatch payload. The payload has already
+// passed its record CRC, so any shape mismatch is content corruption,
+// not a torn write.
+func DecodeBatch(p []byte) ([]graph.Update, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: payload of %d bytes has no count", ErrCorrupt, len(p))
+	}
+	n := binary.LittleEndian.Uint32(p[0:4])
+	if uint64(len(p)) != 4+updateBytes*uint64(n) {
+		return nil, fmt.Errorf("%w: payload is %d bytes for %d updates", ErrCorrupt, len(p), n)
+	}
+	batch := make([]graph.Update, n)
+	off := 4
+	for i := range batch {
+		batch[i] = graph.Update{
+			Edge: graph.Edge{
+				Src:    binary.LittleEndian.Uint32(p[off:]),
+				Dst:    binary.LittleEndian.Uint32(p[off+4:]),
+				Weight: math.Float32frombits(binary.LittleEndian.Uint32(p[off+8:])),
+			},
+			Delete: p[off+12]&flagDelete != 0,
+		}
+		off += updateBytes
+	}
+	return batch, nil
+}

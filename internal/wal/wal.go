@@ -1,0 +1,366 @@
+// Package wal is a segmented write-ahead log for streaming update
+// batches — the durability rung of the ingestion path. Every admitted
+// batch is appended as one CRC32-framed record before it touches the
+// session; after a crash, recovery restores the newest valid checkpoint
+// and replays the tail of the log, so nothing past the last fsync
+// barrier is ever lost.
+//
+// The log is a directory of segment files named by the sequence number
+// of their first record (`00000000000000000001.wal`). Each segment
+// starts with a fixed header and carries consecutive records:
+//
+//	segment header: magic u32 | version u32 | baseSeq u64
+//	record:         seq u64 | payloadLen u32 | crc u32 | payload
+//
+// The CRC (IEEE) covers the record's seq, length and payload, so a torn
+// record, a short header and a bit flip are all detectable. Recovery
+// truncates a torn tail in the final segment back to the last valid
+// record (a crash mid-append is expected, not an error); corruption
+// anywhere else — earlier segments, sequence gaps, valid-CRC records
+// with impossible sequence numbers — is reported as *LogError wrapping
+// ErrCorrupt, because no crash can produce it.
+//
+// Durability is configurable per deployment (SyncPolicy): fsync after
+// every batch (the chaos suite's no-loss guarantee), every N appends,
+// or never (the OS decides). Rotation and Close always fsync so a
+// sealed segment is durable regardless of policy.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+const (
+	segMagic   = 0x5444574C // "TDWL"
+	segVersion = 1
+
+	segHeaderSize = 16 // magic u32 | version u32 | baseSeq u64
+	recHeaderSize = 16 // seq u64 | payloadLen u32 | crc u32
+
+	// maxRecordPayload bounds a record so a corrupted length field can
+	// never drive allocation.
+	maxRecordPayload = 1 << 30
+)
+
+// ErrTorn reports a record cut short by a crash mid-write. Open absorbs
+// torn tails by truncation; the sentinel surfaces only through
+// Recovery, never as an Open error.
+var ErrTorn = errors.New("wal: torn record")
+
+// ErrCorrupt reports log damage no crash can explain: a bad segment
+// header, a sequence gap, or an invalid record with valid records after
+// it.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// LogError locates a WAL failure: the segment and byte offset where it
+// was detected. errors.Is sees through it to ErrTorn / ErrCorrupt and
+// to any underlying I/O error.
+type LogError struct {
+	Segment string // segment file name
+	Offset  int64  // byte offset of the failed record or field
+	Err     error
+}
+
+func (e *LogError) Error() string {
+	return fmt.Sprintf("wal: segment %s @%d: %v", e.Segment, e.Offset, e.Err)
+}
+
+func (e *LogError) Unwrap() error { return e.Err }
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEachBatch fsyncs after every append: nothing acknowledged is
+	// ever lost. The default.
+	SyncEachBatch SyncPolicy = iota
+	// SyncEvery fsyncs once per Options.Interval appends (and at
+	// rotation and Close). A crash loses at most Interval-1 batches.
+	SyncEvery
+	// SyncNone never fsyncs on the append path; the OS page cache
+	// decides. Fastest, weakest.
+	SyncNone
+)
+
+// ParseSyncPolicy maps a -walsync flag value ("batch", "interval:N",
+// "off") to a policy and interval.
+func ParseSyncPolicy(s string) (SyncPolicy, int, error) {
+	switch {
+	case s == "" || s == "batch":
+		return SyncEachBatch, 0, nil
+	case s == "off":
+		return SyncNone, 0, nil
+	default:
+		var n int
+		if _, err := fmt.Sscanf(s, "interval:%d", &n); err == nil && n > 0 {
+			return SyncEvery, n, nil
+		}
+		return 0, 0, fmt.Errorf("wal: bad sync policy %q (batch|interval:N|off)", s)
+	}
+}
+
+// String renders the policy as its flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEachBatch:
+		return "batch"
+	case SyncEvery:
+		return "interval"
+	case SyncNone:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures a log.
+type Options struct {
+	// Dir holds the segment files. It must exist.
+	Dir string
+	// SegmentBytes is the rotation threshold (default 4 MiB): a segment
+	// whose size reaches it is sealed and the next append opens a new
+	// one.
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncEachBatch).
+	Sync SyncPolicy
+	// Interval is the appends-per-fsync under SyncEvery (default 16).
+	Interval int
+	// FS overrides the filesystem — the fault-injection seam. Nil means
+	// the real filesystem.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Interval <= 0 {
+		o.Interval = 16
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// Stats counts what the log has done since Open.
+type Stats struct {
+	Appends   uint64 // records appended
+	Fsyncs    uint64 // explicit fsync barriers issued
+	Rotations uint64 // segments sealed
+	Removed   uint64 // segments deleted by retention
+}
+
+// Log is an open write-ahead log. It is not safe for concurrent use;
+// the serve pipeline owns it from a single goroutine.
+type Log struct {
+	opt Options
+	fs  FS
+
+	cur       File   // nil between rotation and the next append
+	curName   string // base name of cur
+	curSize   int64
+	lastSeq   uint64 // highest appended/recovered seq (0 = empty log)
+	durable   uint64 // highest seq guaranteed on stable storage
+	sinceSync int
+
+	stats Stats
+}
+
+// LastSeq returns the highest record sequence in the log (0 when empty).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// DurableSeq returns the highest sequence known to have reached stable
+// storage — the no-loss boundary the chaos suite asserts against.
+func (l *Log) DurableSeq() uint64 { return l.durable }
+
+// Stats returns operation counts since Open.
+func (l *Log) Stats() Stats { return l.stats }
+
+func segName(baseSeq uint64) string { return fmt.Sprintf("%020d.wal", baseSeq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != 24 || name[20:] != ".wal" {
+		return 0, false
+	}
+	var seq uint64
+	for i := 0; i < 20; i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// Append writes one batch as the record with sequence seq and applies
+// the fsync policy. Sequences must be contiguous: seq == LastSeq()+1,
+// except on an empty log, whose first record may start anywhere (the
+// checkpoint may already cover a prefix of the stream).
+func (l *Log) Append(seq uint64, batch []graph.Update) error {
+	if l.lastSeq != 0 && seq != l.lastSeq+1 {
+		return fmt.Errorf("wal: non-contiguous append: seq %d after %d", seq, l.lastSeq)
+	}
+	if l.cur == nil {
+		if err := l.openSegment(seq); err != nil {
+			return err
+		}
+	}
+	rec := encodeRecord(seq, EncodeBatch(batch))
+	if _, err := l.cur.Write(rec); err != nil {
+		// The write may have landed partially; recovery's tail repair
+		// owns the cleanup. Forget the handle so the next append cannot
+		// extend a torn record.
+		l.closeCurrent()
+		return &LogError{Segment: l.curName, Offset: l.curSize, Err: err}
+	}
+	l.curSize += int64(len(rec))
+	l.lastSeq = seq
+	l.stats.Appends++
+
+	switch l.opt.Sync {
+	case SyncEachBatch:
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	case SyncEvery:
+		l.sinceSync++
+		if l.sinceSync >= l.opt.Interval {
+			if err := l.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if l.curSize >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces everything appended so far onto stable storage — the
+// fsync barrier past which recovery guarantees no loss.
+func (l *Log) Sync() error {
+	if l.cur == nil {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		return &LogError{Segment: l.curName, Offset: l.curSize, Err: err}
+	}
+	l.durable = l.lastSeq
+	l.sinceSync = 0
+	l.stats.Fsyncs++
+	return nil
+}
+
+// rotate seals the current segment: fsync (sealed segments are durable
+// under every policy), close, and let the next append open a successor.
+func (l *Log) rotate() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		l.cur = nil
+		return &LogError{Segment: l.curName, Offset: l.curSize, Err: err}
+	}
+	l.cur = nil
+	l.stats.Rotations++
+	return nil
+}
+
+// openSegment creates the segment whose first record will be seq and
+// makes its directory entry durable.
+func (l *Log) openSegment(seq uint64) error {
+	name := segName(seq)
+	f, err := l.fs.Create(l.path(name))
+	if err != nil {
+		return &LogError{Segment: name, Err: err}
+	}
+	hdr := encodeSegHeader(seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return &LogError{Segment: name, Err: err}
+	}
+	l.cur, l.curName, l.curSize = f, name, segHeaderSize
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		return &LogError{Segment: name, Err: err}
+	}
+	return nil
+}
+
+// TruncateThrough removes every sealed segment whose records are all
+// covered by sequences <= seq — retention keyed to the oldest retained
+// checkpoint generation. The active segment is never removed.
+func (l *Log) TruncateThrough(seq uint64) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].name == l.curName && l.cur != nil {
+			break
+		}
+		// All records of segs[i] are < segs[i+1].base.
+		if segs[i+1].base > seq+1 {
+			break
+		}
+		if err := l.fs.Remove(l.path(segs[i].name)); err != nil {
+			return &LogError{Segment: segs[i].name, Err: err}
+		}
+		l.stats.Removed++
+	}
+	if l.stats.Removed > 0 {
+		if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the log. The final fsync makes a clean
+// shutdown durable under every policy.
+func (l *Log) Close() error {
+	if l.cur == nil {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.cur.Close(); err == nil && cerr != nil {
+		err = &LogError{Segment: l.curName, Offset: l.curSize, Err: cerr}
+	}
+	l.cur = nil
+	return err
+}
+
+func (l *Log) closeCurrent() {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+}
+
+func (l *Log) path(name string) string { return l.opt.Dir + "/" + name }
+
+type segInfo struct {
+	name string
+	base uint64
+}
+
+// segments lists the log's segment files in sequence order.
+func (l *Log) segments() ([]segInfo, error) {
+	names, err := l.fs.List(l.opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, n := range names {
+		if base, ok := parseSegName(n); ok {
+			segs = append(segs, segInfo{name: n, base: base})
+		}
+	}
+	return segs, nil
+}

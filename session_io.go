@@ -112,12 +112,36 @@ func (s *Session) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// fsyncDir makes directory-entry changes (renames, creates, removes)
+// in dir durable: POSIX only orders file contents, not the entries
+// pointing at them, so an atomic-rename save must fsync the parent
+// directory or a crash right after the rename can forget the rename
+// itself. A test hook so the failure path is exercisable.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
 // SaveFile checkpoints the session to path atomically: the bytes are
 // written to a temp file in the same directory, synced to stable storage,
-// and renamed over path, so a crash mid-save can never clobber the
-// previous checkpoint — path always holds either the old complete
-// checkpoint or the new one.
+// renamed over path, and the parent directory is fsynced so the rename
+// survives a crash — path always holds either the old complete
+// checkpoint or the new one, even across power loss.
 func (s *Session) SaveFile(path string) error {
+	return saveFileAtomic(path, s.Save)
+}
+
+// saveFileAtomic writes whatever `write` produces to path with the full
+// durability dance: temp file in the same directory, fsync, rename,
+// directory fsync. Shared by checkpoints and their metadata sidecars.
+func saveFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -129,7 +153,7 @@ func (s *Session) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	if err := write(f); err != nil {
 		return cleanup(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -142,6 +166,9 @@ func (s *Session) SaveFile(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("tdgraph: syncing checkpoint directory %s: %w", dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,69 @@
+package tdgraph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// newTestSession builds a small session for white-box io tests.
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	edges := []Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2}, {Src: 0, Dst: 3, Weight: 4}}
+	s, err := NewSession(NewSSSP(0), edges, 4, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSaveFileSyncsParentDirectory is the regression test for the
+// missing parent-directory fsync: an atomic-rename save that does not
+// fsync the directory can lose the rename itself across a power cut,
+// leaving the OLD checkpoint at path despite a successful return.
+// SaveFile must invoke the directory sync, with the right directory,
+// after the renamed file is already in place.
+func TestSaveFileSyncsParentDirectory(t *testing.T) {
+	s := newTestSession(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.tds")
+
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+
+	var calls []string
+	fsyncDir = func(d string) error {
+		// The rename must already be durable-ordered before the dir sync:
+		// path exists at the moment the hook runs.
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("directory synced before the rename landed: %v", err)
+		}
+		calls = append(calls, d)
+		return orig(d)
+	}
+
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != dir {
+		t.Fatalf("parent-directory fsync calls = %v, want exactly [%s]", calls, dir)
+	}
+}
+
+// TestSaveFileDirSyncFailureSurfaces: a failed directory sync means the
+// save is NOT durable; SaveFile must report it, wrapped, not swallow it.
+func TestSaveFileDirSyncFailureSurfaces(t *testing.T) {
+	s := newTestSession(t)
+	dir := t.TempDir()
+
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+	boom := errors.New("directory sync failed")
+	fsyncDir = func(string) error { return boom }
+
+	err := s.SaveFile(filepath.Join(dir, "ckpt.tds"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("dir-sync failure not surfaced: %v", err)
+	}
+}
