@@ -83,6 +83,24 @@ func TestErrorWrappingContracts(t *testing.T) {
 			},
 		},
 		{
+			name: "post-write WAL failure chains as durable-class not-durable",
+			err: &serve.IngestError{Seq: 9, Stage: "wal-sync", Err: &wal.NotDurableError{
+				Err: &wal.LogError{Segment: "000.wal", Err: cause}}},
+			is: []error{cause},
+			as: func(err error) bool {
+				var ie *serve.IngestError
+				var nd *wal.NotDurableError
+				var le *wal.LogError
+				return errors.As(err, &ie) && ie.Durable() &&
+					errors.As(err, &nd) && errors.As(err, &le)
+			},
+		},
+		{
+			name: "recovery gap sentinel survives wrapping",
+			err:  fmt.Errorf("boot: %w", fmt.Errorf("%w: oldest retained record is seq 42", serve.ErrRecoveryGap)),
+			is:   []error{serve.ErrRecoveryGap},
+		},
+		{
 			name: "source exhaustion keeps the final delivery error",
 			err:  fmt.Errorf("%w after 8 attempts: %w", serve.ErrSourceGivenUp, cause),
 			is:   []error{serve.ErrSourceGivenUp, cause},

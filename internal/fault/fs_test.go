@@ -47,14 +47,16 @@ func TestFaultFSTornWrite(t *testing.T) {
 		t.Fatalf("injected counts: %v", got)
 	}
 
-	// Recovery over the real files truncates the torn record: seq 1
-	// survives, the torn seq 2 is gone.
+	// The log repaired the tear in place at append time (truncating the
+	// segment back to its last valid record), so recovery over the real
+	// files finds a clean log: seq 1 survives, the torn seq 2 is gone
+	// and there is nothing left to repair.
 	l2, rec, err := wal.Open(wal.Options{Dir: dir})
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
-	if rec.LastSeq != 1 || rec.TornSegment == "" {
-		t.Fatalf("recovery %+v, want LastSeq=1 with a torn tail", rec)
+	if rec.LastSeq != 1 || rec.Repaired() {
+		t.Fatalf("recovery %+v, want clean log with LastSeq=1 (tear repaired at append time)", rec)
 	}
 	l2.Close()
 }

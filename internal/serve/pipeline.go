@@ -12,6 +12,13 @@ import (
 	"github.com/tdgraph/tdgraph/internal/wal"
 )
 
+// ErrRecoveryGap reports durable state that cannot be reconstructed:
+// the oldest WAL record the log still retains starts after the
+// sequence the restored checkpoint (or checkpointless bootstrap)
+// covers, so the updates in between are unrecoverable. Serving would
+// silently omit them; NewPipeline refuses instead.
+var ErrRecoveryGap = errors.New("serve: recovery gap between restored state and WAL")
+
 // PipelineConfig wires the durable core together.
 type PipelineConfig struct {
 	// Bootstrap builds the fresh session serving starts from when no
@@ -51,13 +58,18 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 }
 
 // IngestError locates a pipeline failure by stage, so the supervisor
-// knows whether the batch reached durability: "wal" failures happened
-// before the batch was persisted (it must be re-sent), "apply" and
-// "checkpoint" failures happened after (recovery replays it from the
-// log). errors.Is/As see through to the underlying cause.
+// knows whether the batch reached the log: "wal" failures happened
+// before the record was written (the batch is nowhere and must be
+// re-sent), while "wal-sync" failures happened after the record was
+// written but before its fsync barrier completed — the bytes are in
+// the log and may survive, so re-sending would double-apply; recovery
+// (or a same-sequence retry) owns the batch instead. "apply" and
+// "checkpoint" failures happen strictly after durability (recovery
+// replays the batch from the log). errors.Is/As see through to the
+// underlying cause.
 type IngestError struct {
 	Seq   uint64
-	Stage string // "wal" | "apply" | "checkpoint"
+	Stage string // "wal" | "wal-sync" | "apply" | "checkpoint"
 	Err   error
 }
 
@@ -67,9 +79,11 @@ func (e *IngestError) Error() string {
 
 func (e *IngestError) Unwrap() error { return e.Err }
 
-// Durable reports whether the failed batch was already persisted in
-// the WAL when the error struck — if so, recovery replays it and the
-// source must NOT re-send it.
+// Durable reports whether the failed batch's record reached the WAL
+// file when the error struck — if so, replay can resurrect it and the
+// source must NOT re-send it. Only "wal" (pre-write) failures leave
+// the batch safe to re-send; "wal-sync" failures wrote the record
+// without completing its barrier, so they count as reached.
 func (e *IngestError) Durable() bool { return e.Stage != "wal" }
 
 // Pipeline is the synchronous durable core of the serve loop: one
@@ -135,6 +149,16 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		p.col.Inc(stats.CtrWALTornRecovered)
 	}
 
+	// The restored state and the retained log must meet: if the oldest
+	// surviving WAL record starts after the next sequence we need —
+	// every checkpoint generation was unrecoverable but retention had
+	// already truncated past them, say — the prefix is gone for good,
+	// and serving would silently compute wrong state. Fail loudly.
+	if first := l.FirstSeq(); first > p.seq+1 {
+		return nil, fmt.Errorf("%w: restored state covers seq %d but the oldest retained WAL record is seq %d; updates %d..%d are unrecoverable",
+			ErrRecoveryGap, p.seq, first, p.seq+1, first-1)
+	}
+
 	// Rung 3: replay every durable batch the checkpoint doesn't cover.
 	err = l.Replay(p.seq+1, func(seq uint64, batch []graph.Update) error {
 		p.applyLogged(seq, batch)
@@ -189,7 +213,16 @@ func (p *Pipeline) applyLogged(seq uint64, batch []graph.Update) {
 func (p *Pipeline) Ingest(batch []graph.Update) error {
 	seq := p.seq + 1
 	if err := p.log.Append(seq, batch); err != nil {
-		return &IngestError{Seq: seq, Stage: "wal", Err: err}
+		stage := "wal"
+		var nd *wal.NotDurableError
+		if errors.As(err, &nd) {
+			// The record is in the log file; only its fsync barrier (or
+			// rotation) failed. Re-sending it as a new sequence would
+			// double-apply it on replay, so the supervisor must restart
+			// and recover instead.
+			stage = "wal-sync"
+		}
+		return &IngestError{Seq: seq, Stage: stage, Err: err}
 	}
 	p.seq = seq
 	p.col.Inc(stats.CtrWALAppends)

@@ -45,8 +45,9 @@ type QueueConfig struct {
 	// Policy is what a full queue does (default AdmitBlock).
 	Policy AdmitPolicy
 	// MaxBatchUpdates caps a coalesced batch's size; merging two queued
-	// batches frees a slot only while the result stays within it
-	// (default 4× the average queued batch, effectively unbounded at 0).
+	// batches frees a slot only while the result stays within it. 0 (the
+	// default) means no cap: under sustained overload the two oldest
+	// batches keep merging without limit.
 	MaxBatchUpdates int
 }
 

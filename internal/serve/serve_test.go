@@ -198,6 +198,164 @@ func TestPipelineWALFaultIsNonDurable(t *testing.T) {
 	}
 }
 
+// syncFailFS fails wal File.Sync while *failures > 0 — a transient
+// fsync error on the WAL's post-write path.
+type syncFailFS struct {
+	wal.FS
+	failures *int
+}
+
+func (f syncFailFS) Create(path string) (wal.File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &syncFailFile{File: file, failures: f.failures}, nil
+}
+
+type syncFailFile struct {
+	wal.File
+	failures *int
+}
+
+func (f *syncFailFile) Sync() error {
+	if *f.failures > 0 {
+		*f.failures--
+		return errors.New("injected fsync failure")
+	}
+	return f.File.Sync()
+}
+
+// TestPipelineSyncFailureNotReSent: a post-append fsync failure is the
+// "wal-sync" stage and counts as durable-class — the record is in the
+// log file, so recovery resurrects the batch and re-sending it would
+// double-apply. A fresh pipeline over the same directories must
+// already hold it.
+func TestPipelineSyncFailureNotReSent(t *testing.T) {
+	w := testWorkload(t, 5)
+	want := referenceStates(t, w)
+	cfg := pipelineConfig(t, w)
+	failures := 0
+	cfg.WAL.FS = syncFailFS{FS: wal.OSFS{}, failures: &failures}
+
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches[:2] {
+		if err := p.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	failures = 1
+	ingErr := p.Ingest(w.Batches[2])
+	var ie *IngestError
+	if !errors.As(ingErr, &ie) {
+		t.Fatalf("untyped ingest error %T: %v", ingErr, ingErr)
+	}
+	if ie.Stage != "wal-sync" || !ie.Durable() {
+		t.Fatalf("stage %q durable=%v, want durable wal-sync stage", ie.Stage, ie.Durable())
+	}
+	var nd *wal.NotDurableError
+	if !errors.As(ingErr, &nd) {
+		t.Fatalf("wal.NotDurableError lost through the ingest wrapper: %v", ingErr)
+	}
+
+	// Supervisor semantics: abandon the pipeline, recover. The batch
+	// whose barrier failed must come back via replay, not a re-send.
+	p2, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seq() != 3 {
+		t.Fatalf("recovered seq %d, want 3 (failed-barrier batch replayed)", p2.Seq())
+	}
+	for _, b := range w.Batches[3:] {
+		if err := p2.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(p2.Session().States(), want) {
+		t.Fatal("recovery after fsync failure diverged from reference")
+	}
+}
+
+// TestServerSyncFailureRestarts: the serve loop converts a transient
+// fsync failure into one supervised restart — no poisoning, no
+// double-apply — and still lands on the reference states.
+func TestServerSyncFailureRestarts(t *testing.T) {
+	w := testWorkload(t, 6)
+	want := referenceStates(t, w)
+	cfg := pipelineConfig(t, w)
+	failures := 1 // the very first WAL barrier fails, then the disk heals
+	cfg.WAL.FS = syncFailFS{FS: wal.OSFS{}, failures: &failures}
+
+	srv := NewServer(ServerConfig{
+		Pipeline: cfg,
+		Queue:    QueueConfig{Capacity: 4, MaxBatchUpdates: 1},
+	})
+	if err := srv.Run(context.Background(), NewSliceSource(w.Batches)); err != nil {
+		t.Fatal(err)
+	}
+	col := srv.Collector()
+	if got := col.Get(stats.CtrServeRestarts); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+	if got := col.Get(stats.CtrServePoisoned); got != 0 {
+		t.Fatalf("poisoned %d batches; a wal-sync failure must never poison", got)
+	}
+	if !statesEqual(srv.Pipeline().Session().States(), want) {
+		t.Fatal("states after supervised fsync-failure restart diverged")
+	}
+}
+
+// TestNewPipelineRejectsRecoveryGap: when every checkpoint generation
+// is gone but WAL retention already truncated the prefix those
+// checkpoints covered, recovery must refuse loudly instead of serving
+// silently wrong state.
+func TestNewPipelineRejectsRecoveryGap(t *testing.T) {
+	w := testWorkload(t, 6)
+	cfg := pipelineConfig(t, w)
+	cfg.WAL.SegmentBytes = 1 // seal every record so retention can advance
+
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches {
+		if err := p.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: with its checkpoints intact the state reopens fine.
+	p2, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seq() != uint64(len(w.Batches)) {
+		t.Fatalf("reopened at seq %d, want %d", p2.Seq(), len(w.Batches))
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every generation lost: the checkpointless bootstrap cannot bridge
+	// the retained log's truncated prefix.
+	cfg.CheckpointPath = ""
+	_, err = NewPipeline(cfg)
+	if !errors.Is(err, ErrRecoveryGap) {
+		t.Fatalf("bootstrap over a truncated WAL returned %v, want ErrRecoveryGap", err)
+	}
+}
+
 // flakySource fails each batch read a fixed number of times before
 // serving it — the retry layer must absorb exactly that many failures.
 type flakySource struct {

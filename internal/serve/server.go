@@ -147,8 +147,9 @@ func (s *Server) Run(ctx context.Context, src Source) error {
 
 // serveLoop drains the queue into the pipeline, supervising failures.
 // Each batch is re-attempted while the failure is non-durable (the WAL
-// never saw it) up to MaxBatchFailures, then poisoned. Failures after
-// durability — engine panics surfacing through checkpoint writes,
+// file never saw its record) up to MaxBatchFailures, then poisoned.
+// Failures once the record reached the log — a failed fsync barrier
+// ("wal-sync"), engine panics surfacing through checkpoint writes,
 // watchdog trips — trigger a pipeline restart that recovers from the
 // newest checkpoint and WAL replay; the batch itself is already in the
 // log, so it is never re-sent.

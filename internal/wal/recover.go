@@ -93,6 +93,9 @@ func Open(opt Options) (*Log, Recovery, error) {
 
 	l.lastSeq = prevLast
 	l.durable = prevLast // whatever survived on disk is, by survival, durable
+	if len(segs) > 0 && segs[0].name != rec.RemovedSegment {
+		l.firstSeq = segs[0].base
+	}
 	rec.LastSeq = prevLast
 	return l, rec, nil
 }

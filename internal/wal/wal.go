@@ -55,6 +55,21 @@ var ErrTorn = errors.New("wal: torn record")
 // it.
 var ErrCorrupt = errors.New("wal: log corrupt")
 
+// NotDurableError wraps a failure on Append's post-write path: the
+// record reached the segment file, but the fsync barrier or rotation
+// that would guarantee (or seal) it did not complete. The batch must
+// NOT be re-sent as a new sequence — its bytes are already in the log
+// and may survive a crash, so a re-send would double-apply it on
+// replay. Either retry the SAME sequence (Append re-drives the barrier
+// without rewriting the record) or abandon the log and let recovery
+// replay whatever survived. Pre-write failures are returned unwrapped:
+// the record is nowhere and the batch is safe to re-send.
+type NotDurableError struct{ Err error }
+
+func (e *NotDurableError) Error() string { return "wal: appended but not durable: " + e.Err.Error() }
+
+func (e *NotDurableError) Unwrap() error { return e.Err }
+
 // LogError locates a WAL failure: the segment and byte offset where it
 // was detected. errors.Is sees through it to ErrTorn / ErrCorrupt and
 // to any underlying I/O error.
@@ -162,12 +177,20 @@ type Log struct {
 	cur       File   // nil between rotation and the next append
 	curName   string // base name of cur
 	curSize   int64
+	firstSeq  uint64 // base seq of the oldest retained segment (0 = empty log)
 	lastSeq   uint64 // highest appended/recovered seq (0 = empty log)
 	durable   uint64 // highest seq guaranteed on stable storage
 	sinceSync int
+	failed    error // sticky: tear repair failed, extending the log would corrupt it
 
 	stats Stats
 }
+
+// FirstSeq returns the sequence the oldest retained segment starts at —
+// the earliest record Replay can still produce (0 when the log has
+// never held a record). Recovery uses it to detect a gap between the
+// restored state and the retained log.
+func (l *Log) FirstSeq() uint64 { return l.firstSeq }
 
 // LastSeq returns the highest record sequence in the log (0 when empty).
 func (l *Log) LastSeq() uint64 { return l.lastSeq }
@@ -200,7 +223,19 @@ func parseSegName(name string) (uint64, bool) {
 // the fsync policy. Sequences must be contiguous: seq == LastSeq()+1,
 // except on an empty log, whose first record may start anywhere (the
 // checkpoint may already cover a prefix of the stream).
+//
+// Retrying seq == LastSeq() is the one sanctioned repeat: after an
+// append that failed with *NotDurableError the record is already in
+// the segment, so the retry (which must carry the same batch) skips
+// the write and re-drives the failed fsync/rotation instead of
+// tripping the contiguity check.
 func (l *Log) Append(seq uint64, batch []graph.Update) error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.lastSeq != 0 && seq == l.lastSeq {
+		return l.retryLast()
+	}
 	if l.lastSeq != 0 && seq != l.lastSeq+1 {
 		return fmt.Errorf("wal: non-contiguous append: seq %d after %d", seq, l.lastSeq)
 	}
@@ -211,36 +246,86 @@ func (l *Log) Append(seq uint64, batch []graph.Update) error {
 	}
 	rec := encodeRecord(seq, EncodeBatch(batch))
 	if _, err := l.cur.Write(rec); err != nil {
-		// The write may have landed partially; recovery's tail repair
-		// owns the cleanup. Forget the handle so the next append cannot
-		// extend a torn record.
-		l.closeCurrent()
+		// The write may have landed partially. Cut the torn bytes off
+		// right now: once a successor segment exists this one is sealed,
+		// and recovery refuses (ErrCorrupt) to repair a sealed tail.
+		l.repairTornWrite()
 		return &LogError{Segment: l.curName, Offset: l.curSize, Err: err}
 	}
 	l.curSize += int64(len(rec))
 	l.lastSeq = seq
 	l.stats.Appends++
+	return l.settleLast()
+}
 
+// settleLast completes the last appended record's post-write
+// obligations: the policy fsync and, when the segment is over its
+// threshold, rotation. Any failure is wrapped in *NotDurableError —
+// the record is in the file, only its barrier is missing.
+func (l *Log) settleLast() error {
 	switch l.opt.Sync {
 	case SyncEachBatch:
 		if err := l.Sync(); err != nil {
-			return err
+			return &NotDurableError{Err: err}
 		}
 	case SyncEvery:
 		l.sinceSync++
 		if l.sinceSync >= l.opt.Interval {
 			if err := l.Sync(); err != nil {
-				return err
+				return &NotDurableError{Err: err}
 			}
 		}
 	}
 
 	if l.curSize >= l.opt.SegmentBytes {
 		if err := l.rotate(); err != nil {
-			return err
+			return &NotDurableError{Err: err}
 		}
 	}
 	return nil
+}
+
+// retryLast finishes a record whose previous Append attempt failed
+// past the write: re-issue the fsync barrier and any pending rotation
+// without touching the record bytes.
+func (l *Log) retryLast() error {
+	if l.cur == nil {
+		// The only post-write failure that releases the handle is a
+		// rotation whose Close failed — after its fsync succeeded, so
+		// the record is already durable and sealed.
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		return &NotDurableError{Err: err}
+	}
+	if l.curSize >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return &NotDurableError{Err: err}
+		}
+	}
+	return nil
+}
+
+// repairTornWrite cuts a partially-written record off the current
+// segment so the file ends at its last valid record boundary, then
+// releases the handle; the next append opens a successor and the
+// truncated segment seals clean. If the truncate itself fails the log
+// is poisoned — appending past an unrepaired tear would corrupt it —
+// and every later Append returns the sticky error.
+func (l *Log) repairTornWrite() {
+	name, size := l.curName, l.curSize
+	if err := l.fs.Truncate(l.path(name), size); err != nil {
+		l.closeCurrent()
+		l.failed = &LogError{Segment: name, Offset: size,
+			Err: fmt.Errorf("tear repair failed, log sealed: %w", err)}
+		return
+	}
+	if l.cur != nil {
+		// Best effort: push the repaired size to stable storage so a
+		// crash cannot resurrect the torn bytes.
+		l.cur.Sync()
+	}
+	l.closeCurrent()
 }
 
 // Sync forces everything appended so far onto stable storage — the
@@ -287,6 +372,9 @@ func (l *Log) openSegment(seq uint64) error {
 		return &LogError{Segment: name, Err: err}
 	}
 	l.cur, l.curName, l.curSize = f, name, segHeaderSize
+	if l.firstSeq == 0 {
+		l.firstSeq = seq
+	}
 	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
 		return &LogError{Segment: name, Err: err}
 	}
@@ -312,6 +400,7 @@ func (l *Log) TruncateThrough(seq uint64) error {
 		if err := l.fs.Remove(l.path(segs[i].name)); err != nil {
 			return &LogError{Segment: segs[i].name, Err: err}
 		}
+		l.firstSeq = segs[i+1].base
 		l.stats.Removed++
 	}
 	if l.stats.Removed > 0 {

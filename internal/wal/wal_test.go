@@ -338,6 +338,230 @@ func TestParseSyncPolicy(t *testing.T) {
 	}
 }
 
+// failSyncFS fails File.Sync while *failures > 0 — a transient fsync
+// error the log must survive without wedging.
+type failSyncFS struct {
+	FS
+	failures *int
+}
+
+func (f failSyncFS) Create(path string) (File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &failSyncFile{File: file, failures: f.failures}, nil
+}
+
+type failSyncFile struct {
+	File
+	failures *int
+}
+
+func (f *failSyncFile) Sync() error {
+	if *f.failures > 0 {
+		*f.failures--
+		return errors.New("injected fsync failure")
+	}
+	return f.File.Sync()
+}
+
+// TestSyncFailureRetrySameSeq: an append whose record lands but whose
+// fsync fails reports *NotDurableError, and a retry of the SAME
+// sequence re-drives the barrier instead of tripping the contiguity
+// check — the fsync-fail-then-continue path.
+func TestSyncFailureRetrySameSeq(t *testing.T) {
+	dir := t.TempDir()
+	failures := 0
+	l, _, err := Open(Options{Dir: dir, FS: failSyncFS{FS: OSFS{}, failures: &failures}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, testBatch(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	failures = 1
+	err = l.Append(2, testBatch(2, 5))
+	var nd *NotDurableError
+	if !errors.As(err, &nd) {
+		t.Fatalf("fsync failure surfaced as %T (%v), want *NotDurableError", err, err)
+	}
+	if l.LastSeq() != 2 || l.DurableSeq() != 1 {
+		t.Fatalf("last=%d durable=%d, want 2/1 after failed barrier", l.LastSeq(), l.DurableSeq())
+	}
+
+	// The supervisor retries the same sequence: no contiguity error, no
+	// second copy of the record, and the barrier completes.
+	if err := l.Append(2, testBatch(2, 5)); err != nil {
+		t.Fatalf("retry of seq 2 failed: %v", err)
+	}
+	if l.DurableSeq() != 2 {
+		t.Fatalf("durable=%d after retry, want 2", l.DurableSeq())
+	}
+	if err := l.Append(3, testBatch(3, 5)); err != nil {
+		t.Fatalf("append after healed barrier: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay proves the retried record was written exactly once (a
+	// duplicate would break sequence continuity as ErrCorrupt).
+	if got := replaySeqs(t, dir, 1, Options{}); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("replay got %v, want 1..3", got)
+	}
+}
+
+// tornFS tears exactly one write while *armed: a prefix of the record
+// reaches the file, then the write fails — the mid-log torn-write case.
+type tornFS struct {
+	FS
+	armed *bool
+	keep  int64 // bytes of the torn write that land
+}
+
+func (f tornFS) Create(path string) (File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &tornFile{File: file, armed: f.armed, keep: f.keep}, nil
+}
+
+type tornFile struct {
+	File
+	armed *bool
+	keep  int64
+}
+
+func (f *tornFile) Write(p []byte) (int, error) {
+	if *f.armed && int64(len(p)) > f.keep {
+		*f.armed = false
+		n, _ := f.File.Write(p[:f.keep])
+		return n, errors.New("injected torn write")
+	}
+	return f.File.Write(p)
+}
+
+// TestTornWriteRepairedInPlace: a partial record write mid-log is
+// truncated away immediately, so the damaged segment seals clean and
+// the log stays fully recoverable — no ErrCorrupt on the next Open.
+func TestTornWriteRepairedInPlace(t *testing.T) {
+	dir := t.TempDir()
+	armed := false
+	l, _, err := Open(Options{Dir: dir, FS: tornFS{FS: OSFS{}, armed: &armed, keep: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := l.Append(seq, testBatch(int64(seq), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	armed = true
+	err = l.Append(3, testBatch(3, 5))
+	if err == nil {
+		t.Fatal("torn write never surfaced")
+	}
+	var nd *NotDurableError
+	if errors.As(err, &nd) {
+		t.Fatalf("pre-barrier write failure misclassified as not-durable: %v", err)
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("lastSeq=%d after torn write, want 2", l.LastSeq())
+	}
+
+	// The batch never reached the log, so the supervisor re-sends it;
+	// the repaired log accepts it into a successor segment.
+	for seq := uint64(3); seq <= 4; seq++ {
+		if err := l.Append(seq, testBatch(int64(seq), 5)); err != nil {
+			t.Fatalf("Append(%d) after repair: %v", seq, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The formerly-damaged segment is now sealed mid-log: Open must see
+	// a clean log, not corruption.
+	if got := replaySeqs(t, dir, 1, Options{}); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("replay after in-place repair got %v, want 1..4", got)
+	}
+}
+
+// noTruncFS refuses truncation, so tear repair cannot run.
+type noTruncFS struct{ FS }
+
+func (noTruncFS) Truncate(string, int64) error { return errors.New("injected truncate failure") }
+
+// TestTornRepairFailurePoisonsLog: when the in-place repair itself
+// fails, the log seals itself — appending past an unrepaired tear
+// would corrupt it silently.
+func TestTornRepairFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	armed := false
+	l, _, err := Open(Options{Dir: dir, FS: noTruncFS{FS: tornFS{FS: OSFS{}, armed: &armed, keep: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, testBatch(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	armed = true
+	if err := l.Append(2, testBatch(2, 5)); err == nil {
+		t.Fatal("torn write never surfaced")
+	}
+	err = l.Append(2, testBatch(2, 5))
+	if err == nil {
+		t.Fatal("append on a sealed log succeeded")
+	}
+	var le *LogError
+	if !errors.As(err, &le) {
+		t.Fatalf("sticky failure is %T (%v), want *LogError", err, err)
+	}
+	if l.LastSeq() != 1 {
+		t.Fatalf("lastSeq=%d on sealed log, want 1", l.LastSeq())
+	}
+}
+
+// TestFirstSeqTracksRetention: FirstSeq follows the oldest retained
+// segment across appends, retention and reopen — the recovery-gap
+// detector depends on it.
+func TestFirstSeqTracksRetention(t *testing.T) {
+	dir := t.TempDir()
+	l := appendN(t, dir, 6, Options{SegmentBytes: 1}) // one record per segment
+	if l.FirstSeq() != 1 {
+		t.Fatalf("FirstSeq=%d, want 1", l.FirstSeq())
+	}
+	if err := l.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if l.FirstSeq() != 5 {
+		t.Fatalf("FirstSeq=%d after retention through 4, want 5", l.FirstSeq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.FirstSeq() != 5 {
+		t.Fatalf("FirstSeq=%d after reopen, want 5", l2.FirstSeq())
+	}
+	l2.Close()
+
+	empty, _, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.FirstSeq() != 0 {
+		t.Fatalf("empty log FirstSeq=%d, want 0", empty.FirstSeq())
+	}
+	empty.Close()
+}
+
 func TestSegNameRoundTrip(t *testing.T) {
 	for _, seq := range []uint64{1, 42, 1 << 40} {
 		got, ok := parseSegName(segName(seq))
