@@ -12,6 +12,14 @@
 //	              -dataset LJ -scale 0.25 -algo sssp -batches 16
 //	tdgraph-serve -wal ./wal -walsync interval:8 -admit shed -queue 32
 //
+// Replicated serving: start followers first, then the primary. Every
+// acknowledged batch is fsynced on a quorum before Ingest returns, so
+// killing the primary loses nothing acknowledged — promote the most
+// advanced follower and keep serving.
+//
+//	tdgraph-serve -role follower -listen :7401 -wal ./f1-wal -dataset AZ -seed 1
+//	tdgraph-serve -role primary  -peers localhost:7401 -wal ./p-wal -dataset AZ -seed 1
+//
 // SIGINT/SIGTERM begin a graceful drain: admission stops, queued
 // batches are made durable, the WAL is flushed and a final checkpoint
 // generation is cut.
@@ -22,8 +30,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +41,7 @@ import (
 	"github.com/tdgraph/tdgraph/internal/fault"
 	"github.com/tdgraph/tdgraph/internal/graph"
 	"github.com/tdgraph/tdgraph/internal/graph/gen"
+	"github.com/tdgraph/tdgraph/internal/replica"
 	"github.com/tdgraph/tdgraph/internal/serve"
 	"github.com/tdgraph/tdgraph/internal/stats"
 	"github.com/tdgraph/tdgraph/internal/stream"
@@ -63,6 +74,11 @@ func main() {
 		faults   = flag.String("faults", "", "seeded WAL fault spec, e.g. 'wal-torn:4096,fsync-err:2,disk-full:1048576'")
 		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine")
 		verbose  = flag.Bool("v", false, "log supervisor events (restarts, shedding, poisonings)")
+
+		role   = flag.String("role", "solo", "replication role: solo | primary | follower")
+		peers  = flag.String("peers", "", "primary: comma-separated follower addresses to dial")
+		listen = flag.String("listen", "", "follower: address to accept the primary's session on")
+		quorum = flag.Int("quorum", 0, "primary: required acks counting itself (0 = majority of cluster)")
 	)
 	flag.Parse()
 
@@ -141,6 +157,7 @@ func main() {
 	}
 
 	opts := tdgraph.SessionOptions{Validation: pol, MaxVertices: nv}
+	col := stats.NewCollector()
 	cfg := serve.ServerConfig{
 		Pipeline: serve.PipelineConfig{
 			Bootstrap: func() (*tdgraph.Session, error) {
@@ -160,6 +177,7 @@ func main() {
 			CheckpointPath:  *ckptPath,
 			CheckpointKeep:  *ckptKeep,
 			CheckpointEvery: *ckptEvery,
+			Collector:       col,
 		},
 		Queue: serve.QueueConfig{
 			Capacity: *queueCap, Policy: admitPolicy, MaxBatchUpdates: *maxMerge,
@@ -173,10 +191,66 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *role == "follower" {
+		runFollower(ctx, cfg.Pipeline, *listen, *verbose)
+		return
+	}
+
+	var prim *replica.Primary
+	if *role == "primary" {
+		var peerList []string
+		if *peers != "" {
+			peerList = strings.Split(*peers, ",")
+		}
+		// Claim a fresh term durably before shipping anything: a crashed
+		// primary restarting here supersedes its own old sessions, and a
+		// deposed one is fenced by the followers' higher stored term.
+		prev, err := replica.LoadTerm(walFS, *walDir)
+		if err != nil {
+			fatal(err)
+		}
+		term := prev + 1
+		if err := replica.SaveTerm(walFS, *walDir, term); err != nil {
+			fatal(err)
+		}
+		pcfg := replica.PrimaryConfig{
+			Term:        term,
+			ClusterSize: 1 + len(peerList),
+			Quorum:      *quorum,
+			WAL:         cfg.Pipeline.WAL,
+			Collector:   col,
+		}
+		if *verbose {
+			pcfg.OnEvent = func(line string) { fmt.Println("repl:", line) }
+		}
+		prim = replica.NewPrimary(pcfg)
+		for _, addr := range peerList {
+			conn, err := net.Dial("tcp", strings.TrimSpace(addr))
+			if err != nil {
+				fatal(fmt.Errorf("dialing follower %s: %w", addr, err))
+			}
+			if err := prim.AddFollower(conn); err != nil {
+				fatal(fmt.Errorf("attaching follower %s: %w", addr, err))
+			}
+		}
+		cfg.Pipeline.Replicator = prim
+		q := *quorum
+		if q <= 0 {
+			q = pcfg.ClusterSize/2 + 1
+		}
+		fmt.Printf("primary: term %d, %d followers, quorum %d of %d\n",
+			term, prim.Followers(), q, pcfg.ClusterSize)
+	} else if *role != "solo" {
+		fatal(fmt.Errorf("unknown role %q (solo|primary|follower)", *role))
+	}
+
 	srv := serve.NewServer(cfg)
 	start := time.Now()
 	runErr := srv.Run(ctx, serve.NewSliceSource(w.Batches))
 	wall := time.Since(start)
+	if prim != nil {
+		prim.Close()
+	}
 
 	if p := srv.Pipeline(); p != nil {
 		col := srv.Collector()
@@ -192,6 +266,9 @@ func main() {
 		fmt.Printf("  supervisor: restarts=%d poisoned=%d checkpoints=%d rejected=%d\n",
 			col.Get(stats.CtrServeRestarts), col.Get(stats.CtrServePoisoned),
 			col.Get(stats.CtrServeCheckpoints), col.Get(stats.CtrServeRejected))
+		if prim != nil {
+			printReplStats(col, prim.Term())
+		}
 		s := p.Session()
 		fmt.Printf("  session: %d vertices, %d edges\n", s.NumVertices(), s.NumEdges())
 	}
@@ -200,6 +277,69 @@ func main() {
 	}
 	if runErr != nil {
 		fatal(runErr)
+	}
+}
+
+func printReplStats(col *stats.Collector, term uint64) {
+	fmt.Printf("  repl: term=%d shipped=%d acks=%d catchup=%d dup=%d lag=%d drops=%d quorum-failures=%d fence-rejections=%d failovers=%d\n",
+		term,
+		col.Get(stats.CtrReplShippedRecords), col.Get(stats.CtrReplAcks),
+		col.Get(stats.CtrReplCatchupRecords), col.Get(stats.CtrReplDupFrames),
+		col.Get(stats.CtrReplLag), col.Get(stats.CtrReplFollowerDrops),
+		col.Get(stats.CtrReplQuorumFailures), col.Get(stats.CtrReplFenceRejects),
+		col.Get(stats.CtrReplFailovers))
+}
+
+// runFollower serves replication sessions until the context is
+// cancelled: accept the primary's connection, apply-and-ack every
+// record through the durable pipeline, and loop so a restarted (or
+// newly elected) primary can reconnect. Recovery is the pipeline's
+// ordinary checkpoint-plus-WAL-replay; the stored term fences deposed
+// primaries.
+func runFollower(ctx context.Context, pcfg serve.PipelineConfig, listen string, verbose bool) {
+	if listen == "" {
+		fatal(errors.New("-listen is required for -role follower"))
+	}
+	fcfg := replica.FollowerConfig{Pipeline: pcfg}
+	if verbose {
+		fcfg.OnEvent = func(line string) { fmt.Println("repl:", line) }
+	}
+	fl, err := replica.NewFollower(fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	fmt.Printf("follower: recovered to seq %d at term %d, listening on %s\n",
+		fl.Seq(), fl.Term(), ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break // graceful shutdown closed the listener
+			}
+			fatal(err)
+		}
+		if err := fl.Serve(conn); err != nil {
+			fmt.Println("follower: session ended:", err)
+		}
+		conn.Close()
+	}
+	p := fl.Pipeline()
+	closeErr := p.Close() // publishes the final WAL counters
+	col := p.Collector()
+	fmt.Printf("\nfollower drained at seq %d\n", fl.Seq())
+	fmt.Printf("  wal: appends=%d fsyncs=%d replayed=%d\n",
+		col.Get(stats.CtrWALAppends), col.Get(stats.CtrWALFsyncs), col.Get(stats.CtrWALReplayed))
+	printReplStats(col, fl.Term())
+	if closeErr != nil {
+		fatal(closeErr)
 	}
 }
 

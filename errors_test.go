@@ -9,6 +9,7 @@ import (
 
 	tdgraph "github.com/tdgraph/tdgraph"
 	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/replica"
 	"github.com/tdgraph/tdgraph/internal/serve"
 	"github.com/tdgraph/tdgraph/internal/sim"
 	"github.com/tdgraph/tdgraph/internal/wal"
@@ -104,6 +105,47 @@ func TestErrorWrappingContracts(t *testing.T) {
 			name: "source exhaustion keeps the final delivery error",
 			err:  fmt.Errorf("%w after 8 attempts: %w", serve.ErrSourceGivenUp, cause),
 			is:   []error{serve.ErrSourceGivenUp, cause},
+		},
+		{
+			name: "stale term fences through the replicate stage",
+			err: &serve.IngestError{Seq: 11, Stage: "replicate",
+				Err: fmt.Errorf("shipping: %w", replica.ErrStaleTerm)},
+			is: []error{replica.ErrStaleTerm, serve.ErrFenced},
+			as: func(err error) bool {
+				var ie *serve.IngestError
+				return errors.As(err, &ie) && ie.Durable() && ie.Stage == "replicate"
+			},
+		},
+		{
+			name: "quorum loss is durable-class but not fencing",
+			err: &serve.IngestError{Seq: 12, Stage: "replicate",
+				Err: fmt.Errorf("%w: 1 of 2 acks", replica.ErrQuorumLost)},
+			is: []error{replica.ErrQuorumLost},
+			as: func(err error) bool {
+				// A quorum failure must NOT read as a fencing: the operator
+				// response differs (wait/repair vs never serve again).
+				return !errors.Is(err, serve.ErrFenced)
+			},
+		},
+		{
+			name: "follower-behind keeps the compaction cause",
+			err:  fmt.Errorf("catch-up: %w", fmt.Errorf("%w: needs seq 3: %w", replica.ErrFollowerBehind, wal.ErrCompacted)),
+			is:   []error{replica.ErrFollowerBehind, wal.ErrCompacted},
+		},
+		{
+			name: "frame error carries the malformed-frame sentinel",
+			err: fmt.Errorf("session: %w", &replica.FrameError{Reason: "bad checksum",
+				Err: fmt.Errorf("%w: frame checksum mismatch", replica.ErrBadFrame)}),
+			is: []error{replica.ErrBadFrame},
+			as: func(err error) bool {
+				var fe *replica.FrameError
+				return errors.As(err, &fe) && fe.Reason == "bad checksum"
+			},
+		},
+		{
+			name: "tailer compaction sentinel survives wrapping",
+			err:  fmt.Errorf("replicator: %w", fmt.Errorf("%w: want seq 2, oldest is 9", wal.ErrCompacted)),
+			is:   []error{wal.ErrCompacted},
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,536 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/replica"
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/stream"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// This file is the replication suite (experiment "replicated"): one
+// scenario per rung of the replication ladder — quorum acknowledgement,
+// kill-the-primary failover, fencing of deposed primaries, partition
+// response, late-joiner catch-up — each deterministic from the seed.
+
+// replDir creates one replica's directory under root.
+func replDir(root, name string) (string, error) {
+	dir := filepath.Join(root, name)
+	return dir, os.MkdirAll(dir, 0o755)
+}
+
+// replNode builds a replica's pipeline config rooted at dir.
+func replNode(w *stream.Workload, dir string) serve.PipelineConfig {
+	return serve.PipelineConfig{
+		Bootstrap:       durableBootstrap(w),
+		Algorithm:       tdgraph.NewSSSP(0),
+		WAL:             wal.Options{Dir: dir, Sync: wal.SyncEachBatch, SegmentBytes: 4096},
+		CheckpointPath:  filepath.Join(dir, "ckpt.tds"),
+		CheckpointEvery: -1, // keep the whole log: catch-up may reach back to seq 1
+	}
+}
+
+// replFollower recovers a follower over dir and serves one session on a
+// fresh in-memory pipe; wrap (nil = identity) decorates the
+// primary-side conn, e.g. with a fault injector.
+func replFollower(w *stream.Workload, dir string, wrap func(net.Conn) net.Conn) (*replica.Follower, net.Conn, chan error, error) {
+	fl, err := replica.NewFollower(replica.FollowerConfig{Pipeline: replNode(w, dir)})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pside, fside := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- fl.Serve(fside) }()
+	if wrap != nil {
+		pside = wrap(pside)
+	}
+	return fl, pside, done, nil
+}
+
+func replStatesIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func replReference(w *stream.Workload) ([]float64, error) {
+	s, err := durableBootstrap(w)()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range w.Batches {
+		if _, err := s.ApplyBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	return append([]float64(nil), s.States()...), nil
+}
+
+// quorumScenario drives the full workload through a three-replica
+// cluster and demands all three end byte-identical to the
+// uninterrupted single-node reference.
+func quorumScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "repl/quorum-ack"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-repl-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, c1, d1, err := replFollower(w, f1dir, nil)
+	if err != nil {
+		return r, err
+	}
+	f2dir, err := replDir(root, "f2")
+	if err != nil {
+		return r, err
+	}
+	f2, c2, d2, err := replFollower(w, f2dir, nil)
+	if err != nil {
+		return r, err
+	}
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := replNode(w, pdir)
+	pcfg.Collector = col
+	if err := replica.SaveTerm(wal.OSFS{}, pcfg.WAL.Dir, 1); err != nil {
+		return r, err
+	}
+	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 3, WAL: pcfg.WAL, Collector: col})
+	if err := prim.AddFollower(c1); err != nil {
+		return r, err
+	}
+	if err := prim.AddFollower(c2); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	for i, b := range w.Batches {
+		if err := pipe.Ingest(b); err != nil {
+			return r, fmt.Errorf("%s: ingest %d: %w", r.Scenario, i, err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return r, err
+	}
+	prim.Close()
+	<-d1
+	<-d2
+	for name, got := range map[string][]float64{
+		"primary": pipe.Session().States(), "follower-1": f1.Pipeline().Session().States(),
+		"follower-2": f2.Pipeline().Session().States(),
+	} {
+		if !replStatesIdentical(got, want) {
+			return r, fmt.Errorf("%s: %s states diverged from reference", r.Scenario, name)
+		}
+	}
+	f1.Pipeline().Close()
+	f2.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("batches=%d acks=%d, 3 replicas byte-identical to reference",
+		len(w.Batches), col.Get(stats.CtrReplAcks))
+	return r, nil
+}
+
+// failoverScenario kills the primary mid-run (seeded crash on its WAL
+// filesystem), promotes the most advanced follower, and has it finish
+// the workload: no acknowledged batch may be lost and the promoted
+// node's final states must match the uninterrupted reference.
+func failoverScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "repl/failover"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-repl-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, c1, d1, err := replFollower(w, f1dir, nil)
+	if err != nil {
+		return r, err
+	}
+	cfs := fault.NewCrashFS()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := replNode(w, pdir)
+	pcfg.WAL.FS = cfs
+	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 2, WAL: pcfg.WAL})
+	if err := prim.AddFollower(c1); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+
+	totalBytes := int64(16)
+	for _, b := range w.Batches {
+		totalBytes += int64(16 + 13*len(b))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfs.ArmCrash(totalBytes/3 + rng.Int63n(totalBytes/3))
+	acked := 0
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(fault.CrashSignal); !ok {
+					panic(rec)
+				}
+			}
+		}()
+		for _, b := range w.Batches {
+			if err := pipe.Ingest(b); err != nil {
+				return
+			}
+			acked++
+		}
+	}()
+	if !cfs.Crashed() {
+		return r, fmt.Errorf("%s: crash never fired", r.Scenario)
+	}
+	if err := cfs.LoseUnsynced(rng); err != nil {
+		return r, err
+	}
+	prim.Close() // the dead primary's sessions end
+	<-d1
+
+	// Promote: the follower holds every acknowledged batch (it acked
+	// before the primary did), so it resumes from at least `acked`.
+	if f1.Seq() < uint64(acked) {
+		return r, fmt.Errorf("%s: acknowledged batch lost (follower at %d, acked %d)", r.Scenario, f1.Seq(), acked)
+	}
+	term, err := f1.Promote()
+	if err != nil {
+		return r, err
+	}
+	fp := f1.Pipeline()
+	for i := int(fp.Seq()); i < len(w.Batches); i++ {
+		if err := fp.Ingest(w.Batches[i]); err != nil {
+			return r, err
+		}
+	}
+	if err := fp.Close(); err != nil {
+		return r, err
+	}
+	if !replStatesIdentical(fp.Session().States(), want) {
+		return r, fmt.Errorf("%s: promoted follower diverged from reference", r.Scenario)
+	}
+	r.Outcome = fmt.Sprintf("primary killed after %d acks, follower promoted to term %d, states identical",
+		acked, term)
+	return r, nil
+}
+
+// fencingScenario deposes a primary by promotion and verifies its
+// reconnection attempt is refused with the typed fencing error and
+// applies nothing.
+func fencingScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "repl/fencing"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-repl-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, c1, d1, err := replFollower(w, f1dir, nil)
+	if err != nil {
+		return r, err
+	}
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := replNode(w, pdir)
+	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 2, WAL: pcfg.WAL})
+	if err := prim.AddFollower(c1); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches[:2] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	prim.Close()
+	<-d1
+	seqBefore := f1.Seq()
+
+	if _, err := f1.Promote(); err != nil {
+		return r, err
+	}
+
+	// The deposed primary (still term 1) reconnects.
+	pside, fside := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- f1.Serve(fside) }()
+	old := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 2, WAL: pcfg.WAL})
+	err = old.AddFollower(pside)
+	if !errors.Is(err, replica.ErrStaleTerm) || !errors.Is(err, serve.ErrFenced) {
+		return r, fmt.Errorf("%s: want ErrStaleTerm+ErrFenced, got %v", r.Scenario, err)
+	}
+	pside.Close()
+	if serr := <-done; !errors.Is(serr, replica.ErrStaleTerm) {
+		return r, fmt.Errorf("%s: follower session ended %v, want ErrStaleTerm", r.Scenario, serr)
+	}
+	if f1.Seq() != seqBefore {
+		return r, fmt.Errorf("%s: fenced primary changed follower state", r.Scenario)
+	}
+	pipe.Close()
+	f1.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("deposed term 1 rejected by term %d follower, typed + no state change", f1.Term())
+	return r, nil
+}
+
+// partitionScenario cuts the only follower off mid-run and verifies the
+// primary stops acknowledging with the typed quorum error rather than
+// accepting writes it can no longer promise survive a machine loss.
+func partitionScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "repl/" + string(fault.NetPartition)}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-repl-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	inj := fault.New(seed)
+	inj.Arm(fault.NetPartition, 2) // hello + one record, then the wire dies
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, c1, d1, err := replFollower(w, f1dir, inj.Conn)
+	if err != nil {
+		return r, err
+	}
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := replNode(w, pdir)
+	pcfg.Collector = col
+	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 3, WAL: pcfg.WAL, Collector: col})
+	if err := prim.AddFollower(c1); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	if err := pipe.Ingest(w.Batches[0]); err != nil {
+		return r, fmt.Errorf("%s: ingest before partition: %w", r.Scenario, err)
+	}
+	err = pipe.Ingest(w.Batches[1])
+	var ie *serve.IngestError
+	if !errors.As(err, &ie) || ie.Stage != "replicate" || !errors.Is(err, replica.ErrQuorumLost) {
+		return r, fmt.Errorf("%s: want replicate-stage ErrQuorumLost, got %v", r.Scenario, err)
+	}
+	if errors.Is(err, serve.ErrFenced) {
+		return r, fmt.Errorf("%s: quorum loss must not read as fencing", r.Scenario)
+	}
+	prim.Close()
+	<-d1
+	f1.Pipeline().Close()
+	pipe.Close()
+	r.Outcome = fmt.Sprintf("partition after 1 ack: typed quorum error, drops=%d quorum-failures=%d",
+		col.Get(stats.CtrReplFollowerDrops), col.Get(stats.CtrReplQuorumFailures))
+	return r, nil
+}
+
+// lateJoinScenario attaches a follower mid-stream and verifies it is
+// fed the backlog from the primary's WAL before live records, ending
+// byte-identical to the reference.
+func lateJoinScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "repl/late-join"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-repl-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, c1, d1, err := replFollower(w, f1dir, nil)
+	if err != nil {
+		return r, err
+	}
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := replNode(w, pdir)
+	pcfg.Collector = col
+	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 2, WAL: pcfg.WAL, Collector: col})
+	if err := prim.AddFollower(c1); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	joinAt := len(w.Batches) / 2
+	for _, b := range w.Batches[:joinAt] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	f2dir, err := replDir(root, "f2")
+	if err != nil {
+		return r, err
+	}
+	f2, c2, d2, err := replFollower(w, f2dir, nil)
+	if err != nil {
+		return r, err
+	}
+	if err := prim.AddFollower(c2); err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches[joinAt:] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return r, err
+	}
+	prim.Close()
+	<-d1
+	<-d2
+	if !replStatesIdentical(f2.Pipeline().Session().States(), want) {
+		return r, fmt.Errorf("%s: late joiner diverged from reference", r.Scenario)
+	}
+	caught := col.Get(stats.CtrReplCatchupRecords)
+	if caught != uint64(joinAt) {
+		return r, fmt.Errorf("%s: caught up %d records, want %d", r.Scenario, caught, joinAt)
+	}
+	f1.Pipeline().Close()
+	f2.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("joined at seq %d, %d records replayed from WAL, states identical", joinAt, caught)
+	return r, nil
+}
+
+// RunReplicatedSuite executes every replication scenario in suite order.
+func RunReplicatedSuite(o Options) ([]FaultSuiteResult, error) {
+	o = o.withDefaults()
+	var rows []FaultSuiteResult
+	add := func(r FaultSuiteResult, err error) error {
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+		return nil
+	}
+	if err := add(quorumScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(failoverScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(fencingScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(partitionScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(lateJoinScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func expReplicated(w io.Writer, o Options) error {
+	rows, err := RunReplicatedSuite(o)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Replication: quorum-ack + failover suite",
+		Header: []string{"scenario", "outcome"},
+		Comment: "acknowledged batches survive killing the primary; the promoted follower is\n" +
+			"byte-identical to the uninterrupted run; deposed primaries are fenced typed",
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, r.Outcome)
+	}
+	return o.render(t, w)
+}
+
+func init() {
+	register("replicated", "Replication: quorum-ack + failover suite", expReplicated)
+}

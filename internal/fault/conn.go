@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the replication-transport fault surface: Injector.Conn
+// wraps a net.Conn with seeded network pathologies so the replica
+// chaos suite can replay a lossy, reordering, partitioning wire from a
+// seed. Faults act per Write call — the replication protocol frames one
+// message per Write, so a dropped/duplicated/reordered Write is a
+// dropped/duplicated/reordered frame, and net-trunc kills the
+// connection mid-record on the wire.
+
+// Conn wraps c with the armed net-* classes. Each wrapped connection
+// draws from its own rng derived from the injector seed and the order
+// Conn was called in, so fault placement on one connection does not
+// depend on traffic volume on another. The wrapper is safe for one
+// concurrent reader plus one concurrent writer, like net.Conn itself.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	fc := &faultConn{Conn: c, in: in}
+	in.mu.Lock()
+	idx := in.conns
+	in.conns++
+	in.mu.Unlock()
+	fc.rng = rand.New(rand.NewSource(in.seed ^ (int64(idx)+1)*0x5851F42D4C957F2D))
+	if n, ok := in.armed[NetPartition]; ok {
+		fc.partitionAfter, fc.havePartition = int(n), true
+	}
+	if b, ok := in.armed[NetTrunc]; ok {
+		fc.truncBudget, fc.haveTrunc = int64(b), true
+	}
+	return fc
+}
+
+type faultConn struct {
+	net.Conn
+	in  *Injector
+	rng *rand.Rand
+
+	mu             sync.Mutex
+	held           []byte // frame held back by net-reorder
+	writes         int
+	partitionAfter int
+	havePartition  bool
+	partitioned    bool
+	truncBudget    int64
+	haveTrunc      bool
+	dead           bool
+}
+
+// Write applies the armed classes in a fixed order — partition,
+// truncate, drop, duplicate, reorder, delay — so a fault schedule is a
+// pure function of the seed and the frame sequence.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.dead || fc.partitioned {
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	fc.writes++
+	if fc.havePartition && fc.writes > fc.partitionAfter {
+		fc.partitioned = true
+		fc.in.count(NetPartition)
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	if fc.haveTrunc {
+		if int64(len(p)) > fc.truncBudget {
+			// Kill mid-record: a prefix escapes onto the wire, then the
+			// connection dies under the writer.
+			if fc.truncBudget > 0 {
+				fc.Conn.Write(p[:fc.truncBudget])
+			}
+			fc.truncBudget = 0
+			fc.dead = true
+			fc.in.count(NetTrunc)
+			fc.Conn.Close()
+			return 0, fmt.Errorf("fault: frame truncated on the wire: %w", ErrInjected)
+		}
+		fc.truncBudget -= int64(len(p))
+	}
+	if p2, ok := fc.in.armed[NetDrop]; ok && fc.rng.Float64() < p2 {
+		fc.in.count(NetDrop)
+		return len(p), nil // frame vanishes; the writer never knows
+	}
+	dup := false
+	if p2, ok := fc.in.armed[NetDup]; ok && fc.rng.Float64() < p2 {
+		fc.in.count(NetDup)
+		dup = true
+	}
+	reorder := false
+	if p2, ok := fc.in.armed[NetReorder]; ok && fc.rng.Float64() < p2 {
+		fc.in.count(NetReorder)
+		reorder = true
+	}
+	if ms, ok := fc.in.armed[NetDelay]; ok {
+		fc.in.count(NetDelay)
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+
+	frame := append([]byte(nil), p...)
+	var out [][]byte
+	if reorder && fc.held == nil {
+		// Hold this frame back; it goes out after the next one.
+		fc.held = frame
+		return len(p), nil
+	}
+	out = append(out, frame)
+	if dup {
+		out = append(out, frame)
+	}
+	if fc.held != nil {
+		out = append(out, fc.held)
+		fc.held = nil
+	}
+	for _, f := range out {
+		if _, err := fc.Conn.Write(f); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	fc.mu.Lock()
+	dead := fc.dead || fc.partitioned
+	fc.mu.Unlock()
+	if dead {
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Close() error {
+	fc.mu.Lock()
+	fc.dead = true
+	fc.mu.Unlock()
+	return fc.Conn.Close()
+}

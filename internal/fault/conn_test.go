@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// pump reads frames of fixed size n from c until it closes, returning
+// them in arrival order.
+func pump(c net.Conn, n int) <-chan [][]byte {
+	out := make(chan [][]byte, 1)
+	go func() {
+		var frames [][]byte
+		for {
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				out <- frames
+				return
+			}
+			frames = append(frames, buf)
+		}
+	}()
+	return out
+}
+
+func frame(b byte, n int) []byte {
+	f := make([]byte, n)
+	for i := range f {
+		f[i] = b
+	}
+	return f
+}
+
+// TestConnDropIsDeterministic: the same seed drops the same frames.
+func TestConnDropIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		in := New(42)
+		in.Arm(NetDrop, 0.3)
+		a, b := net.Pipe()
+		fc := in.Conn(a)
+		got := pump(b, 4)
+		for i := byte(0); i < 20; i++ {
+			if _, err := fc.Write(frame(i, 4)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		fc.Close()
+		var ids []byte
+		for _, f := range <-got {
+			ids = append(ids, f[0])
+		}
+		return ids
+	}
+	first, second := run(), run()
+	if len(first) == 20 {
+		t.Fatalf("NetDrop at 0.3 dropped nothing across 20 frames")
+	}
+	if string(first) != string(second) {
+		t.Fatalf("same seed produced different drop schedules: %v vs %v", first, second)
+	}
+}
+
+// TestConnDupAndReorder: duplicated frames arrive twice, reordered
+// frames swap with their successor — both seeded.
+func TestConnDupAndReorder(t *testing.T) {
+	in := New(7)
+	in.Arm(NetDup, 1) // duplicate every frame
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+	got := pump(b, 4)
+	for i := byte(0); i < 3; i++ {
+		if _, err := fc.Write(frame(i, 4)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	fc.Close()
+	frames := <-got
+	if len(frames) != 6 {
+		t.Fatalf("NetDup at 1.0: got %d frames, want 6", len(frames))
+	}
+	for i, f := range frames {
+		if f[0] != byte(i/2) {
+			t.Fatalf("frame %d has id %d, want %d", i, f[0], i/2)
+		}
+	}
+
+	in2 := New(7)
+	in2.Arm(NetReorder, 1)
+	a2, b2 := net.Pipe()
+	fc2 := in2.Conn(a2)
+	got2 := pump(b2, 4)
+	for i := byte(0); i < 4; i++ {
+		if _, err := fc2.Write(frame(i, 4)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	fc2.Close()
+	frames2 := <-got2
+	// Every odd frame holds, so pairs swap: 1 0 3 2.
+	want := []byte{1, 0, 3, 2}
+	if len(frames2) != len(want) {
+		t.Fatalf("NetReorder: got %d frames, want %d", len(frames2), len(want))
+	}
+	for i, f := range frames2 {
+		if f[0] != want[i] {
+			t.Fatalf("reorder: frame %d has id %d, want %d", i, f[0], want[i])
+		}
+	}
+}
+
+// TestConnPartition: after the armed frame count, both directions fail
+// with ErrInjected.
+func TestConnPartition(t *testing.T) {
+	in := New(1)
+	in.Arm(NetPartition, 2)
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+	got := pump(b, 4)
+	for i := byte(0); i < 2; i++ {
+		if _, err := fc.Write(frame(i, 4)); err != nil {
+			t.Fatalf("write %d before partition: %v", i, err)
+		}
+	}
+	if _, err := fc.Write(frame(9, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after partition: want ErrInjected, got %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after partition: want ErrInjected, got %v", err)
+	}
+	fc.Close()
+	if n := len(<-got); n != 2 {
+		t.Fatalf("partition leaked frames: got %d, want 2", n)
+	}
+}
+
+// TestConnTruncateMidFrame: the write crossing the byte budget delivers
+// only a prefix and the connection dies — a record torn on the wire.
+func TestConnTruncateMidFrame(t *testing.T) {
+	in := New(5)
+	in.Arm(NetTrunc, 10) // 2 whole 4-byte frames + 2 bytes of the third
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				done <- res{total, err}
+				return
+			}
+		}
+	}()
+	var werr error
+	for i := byte(0); i < 4; i++ {
+		if _, err := fc.Write(frame(i, 4)); err != nil {
+			werr = err
+			break
+		}
+	}
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("want ErrInjected from truncated write, got %v", werr)
+	}
+	r := <-done
+	if r.n != 10 {
+		t.Fatalf("wire saw %d bytes, want exactly 10 (truncated mid-frame)", r.n)
+	}
+	if counts := in.Injected(); len(counts) != 1 || counts[0].Class != NetTrunc {
+		t.Fatalf("unexpected injection counts: %+v", counts)
+	}
+}
+
+// TestConnSpecParse: net classes arm through the same class[:param]
+// spec syntax as every other injector class.
+func TestConnSpecParse(t *testing.T) {
+	in, err := Parse("net-drop:0.5,net-trunc:128,net-partition", 3)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !in.Enabled(NetDrop) || in.Param(NetDrop) != 0.5 {
+		t.Fatalf("net-drop not armed at 0.5: %v", in.Param(NetDrop))
+	}
+	if in.Param(NetTrunc) != 128 {
+		t.Fatalf("net-trunc param = %v, want 128", in.Param(NetTrunc))
+	}
+	if in.Param(NetPartition) != defaultParam[NetPartition] {
+		t.Fatalf("net-partition default param lost")
+	}
+}

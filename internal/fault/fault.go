@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/tdgraph/tdgraph/internal/graph"
 )
@@ -69,6 +70,27 @@ const (
 	// PartialSeg drops the tail of a serialised WAL segment (param:
 	// fraction removed), the on-disk shape of a half-flushed segment.
 	PartialSeg Class = "wal-partial"
+	// NetDrop silently drops written frames (param: per-frame rate).
+	// Armed through Injector.Conn.
+	NetDrop Class = "net-drop"
+	// NetDelay sleeps before each written frame (param: milliseconds).
+	// Armed through Injector.Conn.
+	NetDelay Class = "net-delay"
+	// NetDup sends written frames twice (param: per-frame rate). Armed
+	// through Injector.Conn.
+	NetDup Class = "net-dup"
+	// NetReorder swaps a written frame with its successor (param:
+	// per-frame rate). Armed through Injector.Conn.
+	NetReorder Class = "net-reorder"
+	// NetPartition fails all I/O on the connection after a number of
+	// written frames (param: frames before the partition). Armed through
+	// Injector.Conn.
+	NetPartition Class = "net-partition"
+	// NetTrunc kills the connection mid-frame: the write crossing a
+	// global byte budget (param: bytes before the cut) delivers only a
+	// prefix and the connection closes under the writer. Armed through
+	// Injector.Conn.
+	NetTrunc Class = "net-trunc"
 )
 
 // Classes lists every recognised fault class.
@@ -76,6 +98,7 @@ var Classes = []Class{
 	Corrupt, Duplicate, Reorder, OutOfRange, BadWeight, SelfLoop,
 	CkptFlip, CkptTruncate, ReadErr, WriteErr, Hang, Diverge,
 	WALTorn, FsyncErr, DiskFull, PartialSeg,
+	NetDrop, NetDelay, NetDup, NetReorder, NetPartition, NetTrunc,
 }
 
 // defaultParam is the per-class parameter used when a spec arms a class
@@ -97,6 +120,12 @@ var defaultParam = map[Class]float64{
 	FsyncErr:     2,
 	DiskFull:     1024,
 	PartialSeg:   0.25,
+	NetDrop:      0.05,
+	NetDelay:     1,
+	NetDup:       0.05,
+	NetReorder:   0.05,
+	NetPartition: 32,
+	NetTrunc:     4096,
 }
 
 // ErrInjected is the sentinel every scheduled I/O failure wraps, so
@@ -106,11 +135,17 @@ var ErrInjected = errors.New("fault: injected I/O error")
 // Injector deterministically injects the armed fault classes. All
 // randomness flows from the construction seed, so two injectors with the
 // same seed and spec mutate identical inputs identically, in call order.
+// The rng and batch/checkpoint mutators are single-goroutine like the
+// pipeline that drives them; only the counts (and the net.Conn wrappers,
+// which carry their own derived rngs) are safe to touch concurrently.
 type Injector struct {
-	seed   int64
-	rng    *rand.Rand
-	armed  map[Class]float64
+	seed  int64
+	rng   *rand.Rand
+	armed map[Class]float64
+
+	mu     sync.Mutex
 	counts map[Class]int
+	conns  int
 }
 
 // New returns an injector with no classes armed.
@@ -179,11 +214,17 @@ func (in *Injector) hit(c Class) bool {
 	return ok && in.rng.Float64() < p
 }
 
-func (in *Injector) count(c Class) { in.counts[c]++ }
+func (in *Injector) count(c Class) {
+	in.mu.Lock()
+	in.counts[c]++
+	in.mu.Unlock()
+}
 
 // Injected returns how many faults of each class have been injected so
 // far, in deterministic class order.
 func (in *Injector) Injected() []ClassCount {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out := make([]ClassCount, 0, len(in.counts))
 	for c, n := range in.counts {
 		out = append(out, ClassCount{Class: c, Count: n})
@@ -200,6 +241,8 @@ type ClassCount struct {
 
 // Total returns the total number of injected faults.
 func (in *Injector) Total() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	n := 0
 	for _, c := range in.counts {
 		n += c

@@ -128,12 +128,14 @@ func (c CrashSignal) String() string { return "fault: simulated crash during wri
 // The zero value is not usable; NewCrashFS wraps the real filesystem.
 // CrashFS is single-goroutine like the log that drives it.
 type CrashFS struct {
-	base    wal.FS
-	mu      sync.Mutex
-	files   map[string]*crashFile
-	armed   bool
-	fuse    int64 // bytes of write budget left before the crash
-	crashed bool
+	base      wal.FS
+	mu        sync.Mutex
+	files     map[string]*crashFile
+	armed     bool
+	fuse      int64 // bytes of write budget left before the crash
+	syncArmed bool
+	syncFuse  int // successful Syncs left before the crash
+	crashed   bool
 }
 
 // NewCrashFS returns a CrashFS over the real filesystem.
@@ -147,6 +149,17 @@ func (c *CrashFS) ArmCrash(afterBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.armed, c.fuse, c.crashed = true, afterBytes, false
+}
+
+// ArmCrashAtSync schedules the crash on a Sync call instead: the first
+// afterSyncs Syncs succeed, then the next one dies *before* reaching
+// the disk — the process is killed mid-fsync, so everything written
+// since the previous barrier is still just dirty pages and may be lost
+// by LoseUnsynced. afterSyncs 0 crashes on the very next Sync.
+func (c *CrashFS) ArmCrashAtSync(afterSyncs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncArmed, c.syncFuse, c.crashed = true, afterSyncs, false
 }
 
 // Crashed reports whether the armed crash has fired.
@@ -218,6 +231,19 @@ func (cf *crashFile) Write(p []byte) (int, error) {
 }
 
 func (cf *crashFile) Sync() error {
+	c := cf.fs
+	c.mu.Lock()
+	if c.syncArmed && !c.crashed {
+		if c.syncFuse <= 0 {
+			// Die before the barrier reaches the disk: the caller's
+			// unsynced bytes stay unsynced.
+			c.crashed, c.syncArmed = true, false
+			c.mu.Unlock()
+			panic(CrashSignal{Path: cf.path})
+		}
+		c.syncFuse--
+	}
+	c.mu.Unlock()
 	if err := cf.f.Sync(); err != nil {
 		return err
 	}

@@ -1,0 +1,188 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// FollowerConfig parameterises the receiving side.
+type FollowerConfig struct {
+	// Pipeline is the follower's own durable pipeline configuration —
+	// the same shape a solo server uses, so promotion is just "start
+	// serving". The WAL sync policy is forced to SyncEachBatch: an
+	// acknowledgement must mean fsynced, whatever the config says.
+	Pipeline serve.PipelineConfig
+	// OnEvent receives one line per notable event (nil discards).
+	OnEvent func(string)
+}
+
+// Follower applies replicated batches through its own serve.Pipeline —
+// WAL append, fsync, live apply path — and acknowledges each only
+// after all three, so a primary counting its ack counts a replica that
+// could be promoted this instant. Recovery after a follower crash is
+// the pipeline's ordinary recovery; nothing replication-specific
+// survives a restart except the durable term.
+type Follower struct {
+	mu   sync.Mutex
+	cfg  FollowerConfig
+	pipe *serve.Pipeline
+	col  *stats.Collector
+	fs   wal.FS
+	dir  string
+	term uint64
+}
+
+// NewFollower recovers the follower's durable state (checkpoint + WAL
+// replay + stored term) and returns it ready to Serve.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.OnEvent == nil {
+		cfg.OnEvent = func(string) {}
+	}
+	// Ack honesty: every acknowledged record must be on the platter.
+	cfg.Pipeline.WAL.Sync = wal.SyncEachBatch
+	pipe, err := serve.NewPipeline(cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	fs := cfg.Pipeline.WAL.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	term, err := LoadTerm(fs, cfg.Pipeline.WAL.Dir)
+	if err != nil {
+		pipe.Close()
+		return nil, err
+	}
+	return &Follower{
+		cfg:  cfg,
+		pipe: pipe,
+		col:  pipe.Collector(),
+		fs:   fs,
+		dir:  cfg.Pipeline.WAL.Dir,
+		term: term,
+	}, nil
+}
+
+// Pipeline exposes the follower's pipeline (states, stats, Close).
+func (f *Follower) Pipeline() *serve.Pipeline { return f.pipe }
+
+// Seq returns the follower's last durable-and-applied sequence.
+func (f *Follower) Seq() uint64 { return f.pipe.Seq() }
+
+// Term returns the highest term this follower has durably accepted.
+func (f *Follower) Term() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.term
+}
+
+// Serve runs one replication session on conn until the primary
+// disconnects (nil), the transport dies (the I/O error), or the
+// session must end for protocol reasons (ErrStaleTerm when the primary
+// is deposed, ErrFollowerBehind on a sequence gap). It blocks the
+// calling goroutine; sessions are serialised, and Promote excludes
+// them.
+func (f *Follower) Serve(conn net.Conn) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	hello, err := ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if hello.Type != FrameHello {
+		return &FrameError{Reason: "handshake",
+			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, hello.Type)}
+	}
+	if hello.Term < f.term {
+		f.col.Inc(stats.CtrReplFenceRejects)
+		f.cfg.OnEvent(fmt.Sprintf("rejected primary with stale term %d (ours %d)", hello.Term, f.term))
+		WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
+		return fmt.Errorf("session with deposed primary (term %d < %d): %w", hello.Term, f.term, ErrStaleTerm)
+	}
+	if hello.Term > f.term {
+		// Durably adopt the new term before welcoming: after a crash this
+		// follower must still refuse the old primary.
+		if err := SaveTerm(f.fs, f.dir, hello.Term); err != nil {
+			return err
+		}
+		f.term = hello.Term
+	}
+	if err := WriteFrame(conn, Frame{Type: FrameWelcome, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+		return err
+	}
+
+	for {
+		fr, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // primary closed the session cleanly
+			}
+			return err
+		}
+		if fr.Type != FrameRecord {
+			return &FrameError{Reason: "session",
+				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, fr.Type)}
+		}
+		if fr.Term < f.term {
+			// The primary was deposed mid-session (we may have adopted a
+			// newer term through another session meanwhile).
+			f.col.Inc(stats.CtrReplFenceRejects)
+			WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
+			return fmt.Errorf("record from deposed primary (term %d < %d): %w", fr.Term, f.term, ErrStaleTerm)
+		}
+		switch {
+		case fr.Seq <= f.pipe.Seq():
+			// Duplicate (retry, or a dup-injecting wire): already durable,
+			// so re-ack without re-applying.
+			f.col.Inc(stats.CtrReplDupFrames)
+			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+				return err
+			}
+		case fr.Seq > f.pipe.Seq()+1:
+			// A gap: records were lost on the wire. Refuse — the primary
+			// re-ships the backlog from its WAL.
+			WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
+			return fmt.Errorf("%w: got seq %d with local seq %d", ErrFollowerBehind, fr.Seq, f.pipe.Seq())
+		default:
+			batch, err := wal.DecodeBatch(fr.Payload)
+			if err != nil {
+				return &FrameError{Reason: "record payload", Err: err}
+			}
+			if err := f.pipe.IngestReplicated(fr.Seq, batch); err != nil {
+				return err
+			}
+			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Promote turns this follower into the authority for a new term: the
+// incremented term is made durable (fencing every older primary that
+// later reconnects) and returned for the caller to serve under. The
+// follower's log needs no truncation — every record it holds passed
+// the frame and WAL CRCs, and an unacknowledged tail is simply extra
+// batches the old primary never confirmed to its client; the cluster
+// converges on the promoted log by catch-up. Must not run while a
+// Serve session is active (it excludes them via the same lock).
+func (f *Follower) Promote() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	newTerm := f.term + 1
+	if err := SaveTerm(f.fs, f.dir, newTerm); err != nil {
+		return 0, err
+	}
+	f.term = newTerm
+	f.col.Inc(stats.CtrReplFailovers)
+	f.cfg.OnEvent(fmt.Sprintf("promoted to primary at term %d, seq %d", newTerm, f.pipe.Seq()))
+	return newTerm, nil
+}

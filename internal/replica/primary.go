@@ -1,0 +1,292 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// ErrStaleTerm reports a frame or session refused because a newer term
+// exists: the sender has been deposed. It wraps serve.ErrFenced so the
+// supervisor's one check — errors.Is(err, serve.ErrFenced) — fires
+// through every layer of wrapping.
+var ErrStaleTerm = fmt.Errorf("replica: stale term: %w", serve.ErrFenced)
+
+// ErrFollowerBehind reports a follower whose log position cannot be
+// served: it needs records retention has discarded (a full state
+// transfer would be required), or it rejected a record as
+// non-contiguous.
+var ErrFollowerBehind = errors.New("replica: follower too far behind to catch up")
+
+// ErrQuorumLost reports a Replicate call that could not assemble
+// acknowledgements from a majority: the batch is durable locally and
+// on the followers that acked, but the primary may no longer promise
+// it survives losing a machine, so it must stop acknowledging.
+var ErrQuorumLost = errors.New("replica: replication quorum lost")
+
+// PrimaryConfig parameterises the shipping side.
+type PrimaryConfig struct {
+	// Term is this primary's authority claim; followers refuse smaller
+	// terms. The caller persists it (SaveTerm) before serving.
+	Term uint64
+	// ClusterSize counts every replica including this primary; the
+	// default quorum is a strict majority of it.
+	ClusterSize int
+	// Quorum overrides the majority rule when > 0 (counting the primary
+	// itself as one ack).
+	Quorum int
+	// WAL locates the primary's log for catch-up shipping: a follower
+	// that joins (or re-joins) behind the live tail is fed the backlog
+	// from these segments before live records.
+	WAL wal.Options
+	// AckTimeout bounds the wait for one follower acknowledgement
+	// (default 5s). A follower that misses it is dropped, not waited on.
+	AckTimeout time.Duration
+	// Collector receives the repl.* counters (nil = private).
+	Collector *stats.Collector
+	// OnEvent receives one line per notable event (nil discards).
+	OnEvent func(string)
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = c.ClusterSize/2 + 1
+	}
+	if c.Collector == nil {
+		c.Collector = stats.NewCollector()
+	}
+	if c.OnEvent == nil {
+		c.OnEvent = func(string) {}
+	}
+	return c
+}
+
+// Primary ships WAL records to followers and implements
+// serve.Replicator: the pipeline's Ingest blocks in Replicate until a
+// quorum holds the batch durably. Primary is driven from the single
+// serve goroutine; it is not safe for concurrent use.
+type Primary struct {
+	cfg       PrimaryConfig
+	col       *stats.Collector
+	followers []*followerConn
+}
+
+type followerConn struct {
+	conn  net.Conn
+	name  string
+	acked uint64 // follower's last acknowledged (durable) sequence
+	dead  bool
+}
+
+// NewPrimary returns a primary with no followers attached. The caller
+// must have persisted cfg.Term with SaveTerm first; a primary serving
+// under an unpersisted term could resurrect it after a crash and split
+// the cluster.
+func NewPrimary(cfg PrimaryConfig) *Primary {
+	cfg = cfg.withDefaults()
+	return &Primary{cfg: cfg, col: cfg.Collector}
+}
+
+// Term returns the primary's authority term.
+func (p *Primary) Term() uint64 { return p.cfg.Term }
+
+// Followers returns how many followers are attached and alive.
+func (p *Primary) Followers() int {
+	n := 0
+	for _, fc := range p.followers {
+		if !fc.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Acked returns the highest sequence each live follower has
+// acknowledged, in attachment order (dead followers report 0).
+func (p *Primary) Acked() []uint64 {
+	out := make([]uint64, len(p.followers))
+	for i, fc := range p.followers {
+		if !fc.dead {
+			out[i] = fc.acked
+		}
+	}
+	return out
+}
+
+// AddFollower performs the handshake on conn and attaches the
+// follower; any backlog it is missing ships lazily from the WAL on the
+// next Replicate. A follower that answers with a newer term fences
+// this primary (ErrStaleTerm); one whose position retention has
+// discarded fails with ErrFollowerBehind on that first catch-up.
+func (p *Primary) AddFollower(conn net.Conn) error {
+	fc := &followerConn{conn: conn, name: fmt.Sprintf("follower-%d", len(p.followers))}
+	if err := WriteFrame(conn, Frame{Type: FrameHello, Term: p.cfg.Term}); err != nil {
+		return err
+	}
+	f, err := p.readFrame(fc)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case FrameWelcome:
+		fc.acked = f.Seq
+	case FrameReject:
+		if f.Term > p.cfg.Term {
+			return fmt.Errorf("%w: follower holds term %d, ours is %d", ErrStaleTerm, f.Term, p.cfg.Term)
+		}
+		return fmt.Errorf("%w: handshake rejected at seq %d", ErrFollowerBehind, f.Seq)
+	default:
+		return &FrameError{Reason: "handshake",
+			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.Type)}
+	}
+	p.followers = append(p.followers, fc)
+	p.cfg.OnEvent(fmt.Sprintf("%s attached at seq %d", fc.name, fc.acked))
+	return nil
+}
+
+// Replicate ships the batch at seq to every live follower — catching
+// up any that lag from the WAL first — and succeeds once a quorum
+// (counting this primary) holds it durably. Called by the pipeline
+// with the record already in the local log.
+func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
+	payload := wal.EncodeBatch(batch)
+	acks := 1 // the primary's own log counts
+	var fenced error
+	maxLag := uint64(0)
+	for _, fc := range p.followers {
+		if fc.dead {
+			continue
+		}
+		if err := p.shipTo(fc, seq, payload); err != nil {
+			if errors.Is(err, serve.ErrFenced) {
+				fenced = err
+				break
+			}
+			p.dropFollower(fc, err)
+			continue
+		}
+		acks++
+		p.col.Inc(stats.CtrReplAcks)
+		if lag := seq - fc.acked; lag > maxLag {
+			maxLag = lag
+		}
+	}
+	p.col.Set(stats.CtrReplLag, maxLag)
+	if fenced != nil {
+		return fenced
+	}
+	if acks < p.cfg.Quorum {
+		p.col.Inc(stats.CtrReplQuorumFailures)
+		return fmt.Errorf("%w: %d of %d required acks for seq %d", ErrQuorumLost, acks, p.cfg.Quorum, seq)
+	}
+	return nil
+}
+
+// shipTo brings one follower to seq: backlog records from the WAL
+// first when it lags, then the live record, each acknowledged before
+// the next is sent (the transport may be synchronous, like net.Pipe).
+func (p *Primary) shipTo(fc *followerConn, seq uint64, payload []byte) error {
+	if fc.acked+1 < seq {
+		if err := p.catchUp(fc, seq-1); err != nil {
+			return err
+		}
+	}
+	return p.sendRecord(fc, seq, payload, false)
+}
+
+// catchUp replays the primary's own WAL to the follower through
+// sequence to. The tailer reads the same segments the pipeline writes;
+// a follower wanting records retention has discarded cannot be served.
+func (p *Primary) catchUp(fc *followerConn, to uint64) error {
+	tl := wal.NewTailer(p.cfg.WAL, fc.acked+1)
+	defer tl.Close()
+	for fc.acked < to {
+		seq, payload, err := tl.Next()
+		if err != nil {
+			if errors.Is(err, wal.ErrCompacted) {
+				return fmt.Errorf("%w: needs seq %d: %v", ErrFollowerBehind, fc.acked+1, err)
+			}
+			if errors.Is(err, wal.ErrCaughtUp) {
+				// The log ends before `to`: the caller asked for a record
+				// that is not in the log, which is a protocol bug upstream.
+				return fmt.Errorf("%w: log ends before seq %d", ErrFollowerBehind, to)
+			}
+			return err
+		}
+		if err := p.sendRecord(fc, seq, payload, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendRecord ships one record and waits for its acknowledgement.
+// Acknowledgements below seq are stale — re-acks of frames a faulty
+// wire duplicated — and are skipped, not errors.
+func (p *Primary) sendRecord(fc *followerConn, seq uint64, payload []byte, catchup bool) error {
+	if err := WriteFrame(fc.conn, Frame{Type: FrameRecord, Term: p.cfg.Term, Seq: seq, Payload: payload}); err != nil {
+		return err
+	}
+	p.col.Inc(stats.CtrReplShippedRecords)
+	p.col.Add(stats.CtrReplShippedBytes, uint64(len(payload)))
+	if catchup {
+		p.col.Inc(stats.CtrReplCatchupRecords)
+	}
+	for {
+		f, err := p.readFrame(fc)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FrameAck:
+			if f.Seq >= seq {
+				fc.acked = f.Seq
+				return nil
+			}
+			// Stale ack (duplicate frame re-acked): keep waiting.
+		case FrameReject:
+			if f.Term > p.cfg.Term {
+				return fmt.Errorf("%w: follower moved to term %d, ours is %d", ErrStaleTerm, f.Term, p.cfg.Term)
+			}
+			return fmt.Errorf("%w: record %d rejected at follower seq %d", ErrFollowerBehind, seq, f.Seq)
+		default:
+			return &FrameError{Reason: "ack wait",
+				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.Type)}
+		}
+	}
+}
+
+// readFrame reads one frame from the follower under the ack deadline.
+func (p *Primary) readFrame(fc *followerConn) (Frame, error) {
+	fc.conn.SetReadDeadline(time.Now().Add(p.cfg.AckTimeout))
+	f, err := ReadFrame(fc.conn)
+	fc.conn.SetReadDeadline(time.Time{})
+	return f, err
+}
+
+func (p *Primary) dropFollower(fc *followerConn, cause error) {
+	fc.dead = true
+	fc.conn.Close()
+	p.col.Inc(stats.CtrReplFollowerDrops)
+	p.cfg.OnEvent(fmt.Sprintf("dropped %s at seq %d: %v", fc.name, fc.acked, cause))
+}
+
+// Close drops every follower connection.
+func (p *Primary) Close() error {
+	for _, fc := range p.followers {
+		if !fc.dead {
+			fc.dead = true
+			fc.conn.Close()
+		}
+	}
+	return nil
+}

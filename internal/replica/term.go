@@ -1,0 +1,76 @@
+package replica
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// The term is the cluster's fencing epoch: a promotion increments it
+// durably *before* the new primary serves, so a deposed primary's
+// frames (carrying the old term) are refused by every follower that
+// heard about the promotion. The term must survive the same crashes
+// the WAL survives, and the wal.FS seam has no rename, so it is stored
+// in two independently-written slots — a torn write destroys at most
+// one, and load takes the highest CRC-valid value.
+
+const termMagic = 0x5444544D // "TDTM"
+
+var termSlots = [2]string{"term.a", "term.b"}
+
+// SaveTerm durably records term in dir (the WAL directory; the slot
+// files do not parse as segment names, so the log ignores them). Each
+// slot is written and fsynced in turn, then the directory entry is
+// synced.
+func SaveTerm(fs wal.FS, dir string, term uint64) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:4], termMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], term)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(buf[0:12]))
+	for _, slot := range termSlots {
+		f, err := fs.Create(dir + "/" + slot)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return fs.SyncDir(dir)
+}
+
+// LoadTerm returns the highest valid stored term, 0 when none exists
+// (a replica that has never heard of any primary).
+func LoadTerm(fs wal.FS, dir string) (uint64, error) {
+	best := uint64(0)
+	for _, slot := range termSlots {
+		f, err := fs.Open(dir + "/" + slot)
+		if err != nil {
+			continue // missing or unreadable slot: the other one decides
+		}
+		var buf [16]byte
+		_, rerr := io.ReadFull(f, buf[:])
+		f.Close()
+		if rerr != nil {
+			continue
+		}
+		if binary.LittleEndian.Uint32(buf[0:4]) != termMagic ||
+			binary.LittleEndian.Uint32(buf[12:16]) != crc32.ChecksumIEEE(buf[0:12]) {
+			continue
+		}
+		if t := binary.LittleEndian.Uint64(buf[4:12]); t > best {
+			best = t
+		}
+	}
+	return best, nil
+}

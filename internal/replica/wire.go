@@ -1,0 +1,137 @@
+// Package replica is the serve layer's replication transport: a
+// primary ships the write-ahead log's records — sealed history and the
+// live tail alike — to followers over any net.Conn, collects
+// durability acknowledgements, and fences deposed primaries with a
+// monotonic term number. The safety argument is the textbook one
+// (quorum intersection): an acknowledged batch is fsynced on a
+// majority, so the most-advanced survivor of any single-node loss
+// holds every acknowledged batch, and promotion just replays its own
+// log — the exact recovery path a solo pipeline already trusts.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types. The protocol is deliberately small: one handshake pair,
+// one data frame, one ack, one refusal.
+const (
+	// FrameHello opens a session, primary → follower: Term is the
+	// primary's claim of authority, Seq is unused.
+	FrameHello = 1
+	// FrameWelcome accepts a session, follower → primary: Term echoes
+	// the accepted term, Seq is the follower's last durable sequence —
+	// the primary catches it up from Seq+1.
+	FrameWelcome = 2
+	// FrameRecord carries one WAL record, primary → follower: Seq is
+	// the record's sequence, the payload is its EncodeBatch bytes.
+	FrameRecord = 3
+	// FrameAck confirms durability, follower → primary: Seq is the
+	// follower's last durable-and-applied sequence.
+	FrameAck = 4
+	// FrameReject refuses a session or a record, follower → primary:
+	// Term is the follower's (possibly newer) term, Seq its last
+	// durable sequence. A reject with a newer term fences the primary.
+	FrameReject = 5
+)
+
+const (
+	frameMagic   = 0x54444750 // "TDGP"
+	frameHdrSize = 29         // magic u32 | type u8 | term u64 | seq u64 | plen u32 | crc u32
+	// maxFramePayload bounds a frame so a corrupted length field cannot
+	// drive an allocation; matches the WAL's record bound.
+	maxFramePayload = 1 << 30
+)
+
+// ErrBadFrame is the sentinel every malformed-frame failure wraps.
+var ErrBadFrame = errors.New("replica: malformed frame")
+
+// FrameError locates a wire-decoding failure. It always wraps
+// ErrBadFrame (malformed bytes) or the underlying I/O error (transport
+// death), never both ambiguously.
+type FrameError struct {
+	Reason string
+	Err    error
+}
+
+func (e *FrameError) Error() string { return "replica: frame: " + e.Reason + ": " + e.Err.Error() }
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    byte
+	Term    uint64
+	Seq     uint64
+	Payload []byte
+}
+
+// WriteFrame sends one frame in a single Write call — the fault
+// injector's conn wrapper acts per Write, so one frame is one unit of
+// drop/duplication/reordering/truncation.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := make([]byte, frameHdrSize+len(f.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], frameMagic)
+	buf[4] = f.Type
+	binary.LittleEndian.PutUint64(buf[5:13], f.Term)
+	binary.LittleEndian.PutUint64(buf[13:21], f.Seq)
+	binary.LittleEndian.PutUint32(buf[21:25], uint32(len(f.Payload)))
+	copy(buf[frameHdrSize:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[0:25])
+	crc = crc32.Update(crc, crc32.IEEETable, f.Payload)
+	binary.LittleEndian.PutUint32(buf[25:29], crc)
+	if _, err := w.Write(buf); err != nil {
+		return &FrameError{Reason: "write", Err: err}
+	}
+	return nil
+}
+
+// ReadFrame reads and validates one frame. Malformed bytes fail with a
+// *FrameError wrapping ErrBadFrame; transport failures keep their
+// underlying error (io.EOF passes through bare when the connection
+// closes cleanly between frames).
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHdrSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if err == io.EOF && n == 0 {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, &FrameError{Reason: "short header", Err: err}
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return Frame{}, &FrameError{Reason: "bad magic",
+			Err: fmt.Errorf("%w: magic %#x", ErrBadFrame, binary.LittleEndian.Uint32(hdr[0:4]))}
+	}
+	f := Frame{
+		Type: hdr[4],
+		Term: binary.LittleEndian.Uint64(hdr[5:13]),
+		Seq:  binary.LittleEndian.Uint64(hdr[13:21]),
+	}
+	plen := binary.LittleEndian.Uint32(hdr[21:25])
+	wantCRC := binary.LittleEndian.Uint32(hdr[25:29])
+	if f.Type < FrameHello || f.Type > FrameReject {
+		return Frame{}, &FrameError{Reason: "bad type",
+			Err: fmt.Errorf("%w: type %d", ErrBadFrame, f.Type)}
+	}
+	if plen > maxFramePayload {
+		return Frame{}, &FrameError{Reason: "bad length",
+			Err: fmt.Errorf("%w: implausible payload length %d", ErrBadFrame, plen)}
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, &FrameError{Reason: "short payload", Err: err}
+		}
+	}
+	crc := crc32.ChecksumIEEE(hdr[0:25])
+	crc = crc32.Update(crc, crc32.IEEETable, f.Payload)
+	if crc != wantCRC {
+		return Frame{}, &FrameError{Reason: "bad checksum",
+			Err: fmt.Errorf("%w: frame checksum mismatch", ErrBadFrame)}
+	}
+	return f, nil
+}

@@ -19,6 +19,27 @@ import (
 // silently omit them; NewPipeline refuses instead.
 var ErrRecoveryGap = errors.New("serve: recovery gap between restored state and WAL")
 
+// ErrFenced reports that this pipeline's authority has been revoked: a
+// follower with a newer term has been promoted, and anything this
+// (former) primary acknowledges from now on could be silently lost.
+// Replication errors wrap it so one errors.Is answers the only question
+// the supervisor has — "may this process keep serving?" — with no.
+var ErrFenced = errors.New("serve: primary fenced by a newer term")
+
+// Replicator is the pipeline's quorum-acknowledgement hook: Replicate
+// blocks until the batch (already durable locally) is durable on enough
+// replicas to survive losing this machine, and returns an error when
+// that can no longer be promised — quorum lost, or this primary fenced
+// by a newer term (errors.Is(err, ErrFenced)). Implementations live in
+// internal/replica; the interface lives here so serve never imports the
+// transport.
+type Replicator interface {
+	// Replicate ships the batch at seq and waits for quorum.
+	Replicate(seq uint64, batch []graph.Update) error
+	// Close releases the replicator's connections.
+	Close() error
+}
+
 // PipelineConfig wires the durable core together.
 type PipelineConfig struct {
 	// Bootstrap builds the fresh session serving starts from when no
@@ -42,6 +63,12 @@ type PipelineConfig struct {
 	CheckpointEvery int
 	// Collector receives the pipeline's counters (nil = private).
 	Collector *stats.Collector
+	// Replicator, when set, gates every Ingest on quorum durability:
+	// the batch is applied (and acknowledged) only after Replicate
+	// returns. Replication failures surface as stage "replicate", which
+	// is fatal to the pipeline — a primary that cannot reach quorum or
+	// has been fenced must stop acknowledging, not restart.
+	Replicator Replicator
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -69,7 +96,7 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 // underlying cause.
 type IngestError struct {
 	Seq   uint64
-	Stage string // "wal" | "wal-sync" | "apply" | "checkpoint"
+	Stage string // "wal" | "wal-sync" | "replicate" | "apply" | "checkpoint"
 	Err   error
 }
 
@@ -100,6 +127,7 @@ type Pipeline struct {
 	ck   *tdgraph.Checkpointer
 	seq  uint64 // last ingested (or replayed) sequence
 	col  *stats.Collector
+	repl Replicator
 
 	sinceCkpt int
 }
@@ -112,7 +140,7 @@ type Pipeline struct {
 // durable prefix without crashing.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
-	p := &Pipeline{cfg: cfg, col: cfg.Collector}
+	p := &Pipeline{cfg: cfg, col: cfg.Collector, repl: cfg.Replicator}
 
 	// Rung 1: newest recoverable checkpoint generation, with the WAL
 	// sequence it covers from its metadata sidecar.
@@ -183,6 +211,16 @@ func (p *Pipeline) Seq() uint64 { return p.seq }
 // Collector returns the pipeline's counter set.
 func (p *Pipeline) Collector() *stats.Collector { return p.col }
 
+// SetReplicator installs (or clears, with nil) the quorum hook after
+// construction — the replica layer needs the recovered pipeline's
+// sequence to build the replicator, so it cannot always be present in
+// the config.
+func (p *Pipeline) SetReplicator(r Replicator) { p.repl = r }
+
+// WALOptions returns the log configuration the pipeline was built with
+// (the replicator tails the same directory to catch followers up).
+func (p *Pipeline) WALOptions() wal.Options { return p.cfg.WAL }
+
 // applyLogged applies a batch that is already durable. Failures a
 // deterministic replay would reproduce — validation rejections,
 // recovered panics (the session self-heals) — are absorbed and
@@ -207,9 +245,11 @@ func (p *Pipeline) applyLogged(seq uint64, batch []graph.Update) {
 }
 
 // Ingest makes one batch durable and applies it: WAL append (fsync per
-// policy), session apply, periodic checkpoint. The returned error is
-// always an *IngestError whose Stage says whether the batch got as far
-// as the log.
+// policy), quorum replication when a Replicator is installed, session
+// apply, periodic checkpoint. The returned error is always an
+// *IngestError whose Stage says whether the batch got as far as the
+// log. With a Replicator, a nil return means the batch is durable on a
+// quorum of replicas, not just this disk.
 func (p *Pipeline) Ingest(batch []graph.Update) error {
 	seq := p.seq + 1
 	if err := p.log.Append(seq, batch); err != nil {
@@ -226,6 +266,45 @@ func (p *Pipeline) Ingest(batch []graph.Update) error {
 	}
 	p.seq = seq
 	p.col.Inc(stats.CtrWALAppends)
+	if p.repl != nil {
+		if err := p.repl.Replicate(seq, batch); err != nil {
+			// Locally durable but not quorum-durable. The stage is
+			// durable-class (replay may resurrect the batch) and fatal:
+			// restarting would not restore quorum, and a fenced primary
+			// (errors.Is(err, ErrFenced)) must never ack again.
+			return &IngestError{Seq: seq, Stage: "replicate", Err: err}
+		}
+	}
+	return p.applyIngested(seq, batch)
+}
+
+// IngestReplicated is the follower-side twin of Ingest: it applies a
+// batch the primary shipped at an explicit sequence, enforcing
+// contiguity with what this replica has already applied. The caller
+// (the replication session) acks only after a nil return, so an ack
+// always means "durable here and applied through the same code path
+// recovery replays".
+func (p *Pipeline) IngestReplicated(seq uint64, batch []graph.Update) error {
+	if seq != p.seq+1 {
+		return &IngestError{Seq: seq, Stage: "wal",
+			Err: fmt.Errorf("replicated batch seq %d does not follow local seq %d", seq, p.seq)}
+	}
+	if err := p.log.Append(seq, batch); err != nil {
+		stage := "wal"
+		var nd *wal.NotDurableError
+		if errors.As(err, &nd) {
+			stage = "wal-sync"
+		}
+		return &IngestError{Seq: seq, Stage: stage, Err: err}
+	}
+	p.seq = seq
+	p.col.Inc(stats.CtrWALAppends)
+	return p.applyIngested(seq, batch)
+}
+
+// applyIngested is the shared post-durability half of Ingest and
+// IngestReplicated: apply, count, periodic checkpoint.
+func (p *Pipeline) applyIngested(seq uint64, batch []graph.Update) error {
 	p.applyLogged(seq, batch)
 	p.col.Inc(stats.CtrServeIngested)
 

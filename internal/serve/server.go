@@ -170,6 +170,17 @@ func (s *Server) serveLoop(q *Queue) error {
 
 		var ie *IngestError
 		durable := errors.As(ierr, &ie) && ie.Durable()
+		if durable && ie.Stage == "replicate" {
+			// Quorum lost or fenced by a newer term: restarting cannot
+			// restore either, and a fenced primary acknowledging batches
+			// would lose them silently. Halt; failover owns the cluster.
+			if errors.Is(ierr, ErrFenced) {
+				s.cfg.OnEvent(fmt.Sprintf("halting: fenced by a newer term (%v)", ierr))
+			} else {
+				s.cfg.OnEvent(fmt.Sprintf("halting: replication quorum unavailable (%v)", ierr))
+			}
+			return ierr
+		}
 		if !durable {
 			// The batch never reached the log: re-attempt it against the
 			// same pipeline, then poison.

@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCaughtUp is Tailer.Next's "no more for now": every complete record
+// currently in the log has been returned. The tailer keeps its
+// position; a later Next resumes where it stopped and picks up records
+// appended (and segments rotated) in the meantime.
+var ErrCaughtUp = errors.New("wal: tailer caught up")
+
+// ErrCompacted reports a tail position the log no longer retains: the
+// wanted sequence is older than the oldest surviving segment, so the
+// records can never be produced from this log again. A follower this
+// far behind needs a full state transfer, not replay.
+var ErrCompacted = errors.New("wal: sequence already compacted by retention")
+
+// Tailer reads a log's records in sequence order, following the active
+// segment across rotation — the replication primary's shipping source.
+// It opens segment files read-only through the log's FS and never
+// mutates the log, so it can run against a directory another process
+// (or the owning Log, from the same goroutine) is appending to.
+//
+// A torn or incomplete record at the end of the *last* segment is not
+// an error: it is an append in flight, reported as ErrCaughtUp and
+// re-read from the last whole-record boundary on the next call. The
+// same damage in a sealed segment (one with a successor) is real
+// corruption and fails with a *LogError wrapping ErrCorrupt.
+//
+// Tailer is not safe for concurrent use.
+type Tailer struct {
+	fs   FS
+	dir  string
+	next uint64 // next sequence Next will return
+
+	segName string
+	segBase uint64
+	atSeq   uint64 // sequence of the record at offset off
+	off     int64  // byte offset of the next unread record boundary
+	r       io.ReadCloser
+	br      *bufio.Reader
+}
+
+// NewTailer returns a tailer positioned to produce record `from` first
+// (0 means from the oldest retained record). Only opt.Dir and opt.FS
+// are used.
+func NewTailer(opt Options, from uint64) *Tailer {
+	opt = opt.withDefaults()
+	if from == 0 {
+		from = 1
+	}
+	return &Tailer{fs: opt.FS, dir: opt.Dir, next: from}
+}
+
+// NextSeq returns the sequence the next successful Next will produce.
+func (t *Tailer) NextSeq() uint64 { return t.next }
+
+// Close releases the tailer's open segment handle. The position is
+// kept: Next after Close reopens and resumes.
+func (t *Tailer) Close() error {
+	t.closeReader()
+	return nil
+}
+
+func (t *Tailer) closeReader() {
+	if t.r != nil {
+		t.r.Close()
+		t.r, t.br = nil, nil
+	}
+}
+
+// errTailEnd distinguishes a clean end (EOF exactly at a record
+// boundary) from a torn tail inside readRecord.
+var errTailEnd = errors.New("wal: clean end of segment")
+
+// errTailTorn marks an incomplete or checksum-failed record at the
+// read position — an append in flight on the active segment,
+// corruption on a sealed one.
+var errTailTorn = errors.New("wal: incomplete record at tail")
+
+// Next returns the next record in sequence order, or ErrCaughtUp when
+// the log currently ends before it, or ErrCompacted when retention has
+// already dropped it.
+func (t *Tailer) Next() (uint64, []byte, error) {
+	for {
+		if t.r == nil {
+			if err := t.open(); err != nil {
+				return 0, nil, err
+			}
+		}
+		seq, payload, n, err := t.readRecord()
+		if err != nil {
+			clean := errors.Is(err, errTailEnd)
+			t.closeReader()
+			succ, ok, serr := t.successor()
+			if serr != nil {
+				return 0, nil, serr
+			}
+			if !ok {
+				// Last segment: a clean boundary or an append in flight.
+				return 0, nil, ErrCaughtUp
+			}
+			// A successor exists, so this segment is sealed: it must end
+			// cleanly and hand over exactly at the next sequence.
+			if !clean {
+				return 0, nil, &LogError{Segment: t.segName, Offset: t.off,
+					Err: fmt.Errorf("%w: %v in a sealed segment", ErrCorrupt, err)}
+			}
+			if succ.base != t.atSeq {
+				return 0, nil, &LogError{Segment: succ.name,
+					Err: fmt.Errorf("%w: segment starts at seq %d, previous ended at %d", ErrCorrupt, succ.base, t.atSeq-1)}
+			}
+			t.segName, t.segBase, t.off = succ.name, succ.base, 0
+			continue
+		}
+		if seq != t.atSeq {
+			t.closeReader()
+			return 0, nil, &LogError{Segment: t.segName, Offset: t.off,
+				Err: fmt.Errorf("%w: record seq %d where %d expected", ErrCorrupt, seq, t.atSeq)}
+		}
+		t.off += n
+		t.atSeq++
+		if seq >= t.next {
+			t.next = seq + 1
+			return seq, payload, nil
+		}
+		// Record below the requested start: skip it.
+	}
+}
+
+// open (re)opens the segment holding the tailer's position and seeks to
+// the saved record boundary. When no segment is selected yet it picks
+// the one containing t.next.
+func (t *Tailer) open() error {
+	segs, err := t.segments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return ErrCaughtUp
+	}
+	if t.segName == "" {
+		if t.next < segs[0].base {
+			return fmt.Errorf("%w: want seq %d, oldest retained segment starts at %d",
+				ErrCompacted, t.next, segs[0].base)
+		}
+		pick := segs[0]
+		for _, s := range segs {
+			if s.base <= t.next {
+				pick = s
+			}
+		}
+		t.segName, t.segBase, t.off, t.atSeq = pick.name, pick.base, 0, pick.base
+	} else {
+		// Retention may have removed the segment we were parked on.
+		found := false
+		for _, s := range segs {
+			if s.name == t.segName {
+				found = true
+				break
+			}
+		}
+		if !found {
+			name, base := t.segName, t.segBase
+			t.segName, t.segBase, t.off = "", 0, 0
+			if t.next < segs[0].base {
+				return fmt.Errorf("%w: segment %s (seq %d) removed under the tailer",
+					ErrCompacted, name, base)
+			}
+			return t.open()
+		}
+	}
+
+	f, err := t.fs.Open(t.dir + "/" + t.segName)
+	if err != nil {
+		return &LogError{Segment: t.segName, Err: err}
+	}
+	br := bufio.NewReader(f)
+	if t.off == 0 {
+		var hdr [segHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// Header not fully on disk yet: created-but-unwritten segment.
+			f.Close()
+			return ErrCaughtUp
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic ||
+			binary.LittleEndian.Uint32(hdr[4:8]) != segVersion ||
+			binary.LittleEndian.Uint64(hdr[8:16]) != t.segBase {
+			f.Close()
+			return &LogError{Segment: t.segName,
+				Err: fmt.Errorf("%w: segment header does not match name", ErrCorrupt)}
+		}
+		t.off, t.atSeq = segHeaderSize, t.segBase
+	} else {
+		if _, err := io.CopyN(io.Discard, br, t.off); err != nil {
+			// The file is shorter than the boundary we validated before:
+			// it changed underneath us.
+			f.Close()
+			return &LogError{Segment: t.segName, Offset: t.off,
+				Err: fmt.Errorf("%w: segment shrank below a validated boundary", ErrCorrupt)}
+		}
+	}
+	t.r, t.br = f, br
+	return nil
+}
+
+// readRecord reads one CRC-validated record at the current position.
+// The returned n counts the record's full framed size.
+func (t *Tailer) readRecord() (seq uint64, payload []byte, n int64, err error) {
+	var rh [recHeaderSize]byte
+	nr, err := io.ReadFull(t.br, rh[:])
+	if err == io.EOF && nr == 0 {
+		return 0, nil, 0, errTailEnd
+	}
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: short record header", errTailTorn)
+	}
+	seq = binary.LittleEndian.Uint64(rh[0:8])
+	plen := binary.LittleEndian.Uint32(rh[8:12])
+	wantCRC := binary.LittleEndian.Uint32(rh[12:16])
+	if plen > maxRecordPayload {
+		return 0, nil, 0, fmt.Errorf("%w: implausible payload length %d", errTailTorn, plen)
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(t.br, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: short payload", errTailTorn)
+	}
+	crc := crc32.ChecksumIEEE(rh[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != wantCRC {
+		return 0, nil, 0, fmt.Errorf("%w: record checksum mismatch", errTailTorn)
+	}
+	return seq, payload, recHeaderSize + int64(plen), nil
+}
+
+// successor finds the segment immediately after the current one.
+func (t *Tailer) successor() (segInfo, bool, error) {
+	segs, err := t.segments()
+	if err != nil {
+		return segInfo{}, false, err
+	}
+	best := segInfo{}
+	found := false
+	for _, s := range segs {
+		if s.base > t.segBase && (!found || s.base < best.base) {
+			best, found = s, true
+		}
+	}
+	return best, found, nil
+}
+
+// segments mirrors Log.segments for the tailer's standalone FS view.
+func (t *Tailer) segments() ([]segInfo, error) {
+	names, err := t.fs.List(t.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, n := range names {
+		if base, ok := parseSegName(n); ok {
+			segs = append(segs, segInfo{name: n, base: base})
+		}
+	}
+	return segs, nil
+}
