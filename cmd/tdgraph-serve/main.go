@@ -202,15 +202,34 @@ func main() {
 		if *peers != "" {
 			peerList = strings.Split(*peers, ",")
 		}
-		// Claim a fresh term durably before shipping anything: a crashed
-		// primary restarting here supersedes its own old sessions, and a
-		// deposed one is fenced by the followers' higher stored term.
-		prev, err := replica.LoadTerm(walFS, *walDir)
+		// Claim a fresh term durably before shipping anything — and claim
+		// it *uniquely*: probe every follower for the highest term it has
+		// adopted and take strictly more than any of them (and our own
+		// stored one). A deposed primary restarting here therefore cannot
+		// re-claim a term its successor already serves under; it either
+		// supersedes the whole cluster or is fenced, never tied.
+		prev, err := replica.LoadTermState(walFS, *walDir)
 		if err != nil {
 			fatal(err)
 		}
-		term := prev + 1
-		if err := replica.SaveTerm(walFS, *walDir, term); err != nil {
+		maxTerm := prev.Term
+		conns := make([]net.Conn, len(peerList))
+		for i, addr := range peerList {
+			conn, err := net.Dial("tcp", strings.TrimSpace(addr))
+			if err != nil {
+				fatal(fmt.Errorf("dialing follower %s: %w", addr, err))
+			}
+			conns[i] = conn
+			t, _, err := replica.ProbeState(conn, 5*time.Second)
+			if err != nil {
+				fatal(fmt.Errorf("probing follower %s: %w", addr, err))
+			}
+			if t > maxTerm {
+				maxTerm = t
+			}
+		}
+		term := maxTerm + 1
+		if _, err := replica.ClaimTerm(cfg.Pipeline.WAL, term); err != nil {
 			fatal(err)
 		}
 		pcfg := replica.PrimaryConfig{
@@ -224,13 +243,9 @@ func main() {
 			pcfg.OnEvent = func(line string) { fmt.Println("repl:", line) }
 		}
 		prim = replica.NewPrimary(pcfg)
-		for _, addr := range peerList {
-			conn, err := net.Dial("tcp", strings.TrimSpace(addr))
-			if err != nil {
-				fatal(fmt.Errorf("dialing follower %s: %w", addr, err))
-			}
+		for i, conn := range conns {
 			if err := prim.AddFollower(conn); err != nil {
-				fatal(fmt.Errorf("attaching follower %s: %w", addr, err))
+				fatal(fmt.Errorf("attaching follower %s: %w", peerList[i], err))
 			}
 		}
 		cfg.Pipeline.Replicator = prim
@@ -281,13 +296,13 @@ func main() {
 }
 
 func printReplStats(col *stats.Collector, term uint64) {
-	fmt.Printf("  repl: term=%d shipped=%d acks=%d catchup=%d dup=%d lag=%d drops=%d quorum-failures=%d fence-rejections=%d failovers=%d\n",
+	fmt.Printf("  repl: term=%d shipped=%d acks=%d catchup=%d dup=%d lag=%d drops=%d quorum-failures=%d fence-rejections=%d diverged-rejections=%d failovers=%d\n",
 		term,
 		col.Get(stats.CtrReplShippedRecords), col.Get(stats.CtrReplAcks),
 		col.Get(stats.CtrReplCatchupRecords), col.Get(stats.CtrReplDupFrames),
 		col.Get(stats.CtrReplLag), col.Get(stats.CtrReplFollowerDrops),
 		col.Get(stats.CtrReplQuorumFailures), col.Get(stats.CtrReplFenceRejects),
-		col.Get(stats.CtrReplFailovers))
+		col.Get(stats.CtrReplDivergedRejects), col.Get(stats.CtrReplFailovers))
 }
 
 // runFollower serves replication sessions until the context is

@@ -128,6 +128,20 @@ func TestErrorWrappingContracts(t *testing.T) {
 			},
 		},
 		{
+			name: "diverged follower is neither fencing nor behind",
+			err: fmt.Errorf("handshake: %w",
+				fmt.Errorf("%w: follower at seq 3, our log ends at 2", replica.ErrFollowerDiverged)),
+			is: []error{replica.ErrFollowerDiverged},
+			as: func(err error) bool {
+				// Divergence needs a reseed, not a wait (quorum), a catch-up
+				// (behind), or a shutdown (fenced) — it must stay distinct
+				// from all three so supervisors route it correctly.
+				return !errors.Is(err, serve.ErrFenced) &&
+					!errors.Is(err, replica.ErrFollowerBehind) &&
+					!errors.Is(err, replica.ErrQuorumLost)
+			},
+		},
+		{
 			name: "follower-behind keeps the compaction cause",
 			err:  fmt.Errorf("catch-up: %w", fmt.Errorf("%w: needs seq 3: %w", replica.ErrFollowerBehind, wal.ErrCompacted)),
 			is:   []error{replica.ErrFollowerBehind, wal.ErrCompacted},

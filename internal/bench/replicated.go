@@ -125,7 +125,7 @@ func quorumScenario(seed int64) (FaultSuiteResult, error) {
 	}
 	pcfg := replNode(w, pdir)
 	pcfg.Collector = col
-	if err := replica.SaveTerm(wal.OSFS{}, pcfg.WAL.Dir, 1); err != nil {
+	if _, err := replica.ClaimTerm(wal.Options{Dir: pcfg.WAL.Dir}, 1); err != nil {
 		return r, err
 	}
 	prim := replica.NewPrimary(replica.PrimaryConfig{Term: 1, ClusterSize: 3, WAL: pcfg.WAL, Collector: col})

@@ -92,7 +92,7 @@ func runFailoverTrial(t *testing.T, trial int) trialDigest {
 	f1 := mkFollower(t.TempDir())
 	f2 := mkFollower(t.TempDir())
 
-	if err := SaveTerm(wal.OSFS{}, pdir, 1); err != nil {
+	if _, err := ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
 		t.Fatal(err)
 	}
 	prim := NewPrimary(PrimaryConfig{Term: 1, ClusterSize: 3, WAL: pcfg.WAL, Collector: pcfg.Collector})
@@ -259,7 +259,7 @@ func TestFencedOldPrimaryRejected(t *testing.T) {
 	// Session 1: the original primary (term 1) replicates three batches.
 	pdir := t.TempDir()
 	pcfg := nodeConfig(w, pdir)
-	if err := SaveTerm(wal.OSFS{}, pdir, 1); err != nil {
+	if _, err := ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
 		t.Fatal(err)
 	}
 	oldPrim := NewPrimary(PrimaryConfig{Term: 1, ClusterSize: 2, WAL: pcfg.WAL})
@@ -303,12 +303,29 @@ func TestFencedOldPrimaryRejected(t *testing.T) {
 		t.Fatalf("follower session: want ErrStaleTerm, got %v", serr)
 	}
 
+	// Equal-term split brain: a second process that claims the *same*
+	// term the promoted follower already holds (a deposed primary whose
+	// own stored term plus one collides with the promotion) is rejected
+	// too — sessions must claim strictly more than the follower has
+	// adopted, so no two primaries can ever be acked under one term.
+	psideEq, fsideEq := net.Pipe()
+	sessEq := make(chan error, 1)
+	go func() { sessEq <- fl.Serve(fsideEq) }()
+	eqPrim := NewPrimary(PrimaryConfig{Term: fl.Term(), ClusterSize: 2, WAL: pcfg.WAL})
+	err = eqPrim.AddFollower(psideEq)
+	if !errors.Is(err, ErrStaleTerm) || !errors.Is(err, serve.ErrFenced) {
+		t.Fatalf("equal-term primary: want ErrStaleTerm wrapping serve.ErrFenced, got %v", err)
+	}
+	if serr := <-sessEq; !errors.Is(serr, ErrStaleTerm) {
+		t.Fatalf("equal-term session: want ErrStaleTerm, got %v", serr)
+	}
+
 	// A split-brain primary that already held a session cannot slip a
 	// stale-term record through mid-stream either.
 	pside3, fside3 := net.Pipe()
 	sess3 := make(chan error, 1)
 	go func() { sess3 <- fl.Serve(fside3) }()
-	if err := WriteFrame(pside3, Frame{Type: FrameHello, Term: 2}); err != nil {
+	if err := WriteFrame(pside3, Frame{Type: FrameHello, Term: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if f, err := ReadFrame(pside3); err != nil || f.Type != FrameWelcome {
@@ -319,8 +336,8 @@ func TestFencedOldPrimaryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	rej, err := ReadFrame(pside3)
-	if err != nil || rej.Type != FrameReject || rej.Term != 2 {
-		t.Fatalf("stale record answer: %+v, %v (want Reject at term 2)", rej, err)
+	if err != nil || rej.Type != FrameReject || rej.Term != 3 {
+		t.Fatalf("stale record answer: %+v, %v (want Reject at term 3)", rej, err)
 	}
 	if serr := <-sess3; !errors.Is(serr, ErrStaleTerm) {
 		t.Fatalf("stale-record session: want ErrStaleTerm, got %v", serr)
@@ -333,8 +350,8 @@ func TestFencedOldPrimaryRejected(t *testing.T) {
 	if !statesEqual(fl.Pipeline().Session().States(), statesBefore) {
 		t.Fatal("follower states changed under a fenced primary")
 	}
-	if got := fl.Pipeline().Collector().Get(stats.CtrReplFenceRejects); got != fencesBefore+2 {
-		t.Fatalf("fence rejections = %d, want %d", got, fencesBefore+2)
+	if got := fl.Pipeline().Collector().Get(stats.CtrReplFenceRejects); got != fencesBefore+3 {
+		t.Fatalf("fence rejections = %d, want %d", got, fencesBefore+3)
 	}
 	pipe.Close()
 	fl.Pipeline().Close()
@@ -344,12 +361,12 @@ func TestFencedOldPrimaryRejected(t *testing.T) {
 // would: from its own durable term, which is still the old one.
 func oldPrim2(t *testing.T, pdir string, pcfg serve.PipelineConfig) *Primary {
 	t.Helper()
-	term, err := LoadTerm(wal.OSFS{}, pdir)
+	st, err := LoadTermState(wal.OSFS{}, pdir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if term != 1 {
-		t.Fatalf("deposed primary restarted with term %d, want its stored 1", term)
+	if st.Term != 1 {
+		t.Fatalf("deposed primary restarted with term %d, want its stored 1", st.Term)
 	}
-	return NewPrimary(PrimaryConfig{Term: term, ClusterSize: 2, WAL: pcfg.WAL})
+	return NewPrimary(PrimaryConfig{Term: st.Term, ClusterSize: 2, WAL: pcfg.WAL})
 }

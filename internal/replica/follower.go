@@ -30,13 +30,13 @@ type FollowerConfig struct {
 // the pipeline's ordinary recovery; nothing replication-specific
 // survives a restart except the durable term.
 type Follower struct {
-	mu   sync.Mutex
-	cfg  FollowerConfig
-	pipe *serve.Pipeline
-	col  *stats.Collector
-	fs   wal.FS
-	dir  string
-	term uint64
+	mu    sync.Mutex
+	cfg   FollowerConfig
+	pipe  *serve.Pipeline
+	col   *stats.Collector
+	fs    wal.FS
+	dir   string
+	state TermState
 }
 
 // NewFollower recovers the follower's durable state (checkpoint + WAL
@@ -55,18 +55,18 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if fs == nil {
 		fs = wal.OSFS{}
 	}
-	term, err := LoadTerm(fs, cfg.Pipeline.WAL.Dir)
+	state, err := LoadTermState(fs, cfg.Pipeline.WAL.Dir)
 	if err != nil {
 		pipe.Close()
 		return nil, err
 	}
 	return &Follower{
-		cfg:  cfg,
-		pipe: pipe,
-		col:  pipe.Collector(),
-		fs:   fs,
-		dir:  cfg.Pipeline.WAL.Dir,
-		term: term,
+		cfg:   cfg,
+		pipe:  pipe,
+		col:   pipe.Collector(),
+		fs:    fs,
+		dir:   cfg.Pipeline.WAL.Dir,
+		state: state,
 	}, nil
 }
 
@@ -80,42 +80,69 @@ func (f *Follower) Seq() uint64 { return f.pipe.Seq() }
 func (f *Follower) Term() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.term
+	return f.state.Term
 }
 
 // Serve runs one replication session on conn until the primary
 // disconnects (nil), the transport dies (the I/O error), or the
 // session must end for protocol reasons (ErrStaleTerm when the primary
-// is deposed, ErrFollowerBehind on a sequence gap). It blocks the
-// calling goroutine; sessions are serialised, and Promote excludes
-// them.
+// is deposed, ErrFollowerBehind on a sequence gap, ErrFollowerDiverged
+// when the primary refuses this replica's log). It blocks the calling
+// goroutine; sessions are serialised, and Promote excludes them.
+//
+// A session must claim a term *strictly greater* than any this
+// follower has adopted. Equal is rejected too: terms are unique by
+// construction (a primary claims max-of-probed+1), so a second Hello
+// at an already-adopted term is another process racing for the same
+// authority — accepting both is exactly the split brain fencing
+// exists to prevent.
 func (f *Follower) Serve(conn net.Conn) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	hello, err := ReadFrame(conn)
-	if err != nil {
-		return err
-	}
-	if hello.Type != FrameHello {
-		return &FrameError{Reason: "handshake",
-			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, hello.Type)}
-	}
-	if hello.Term < f.term {
-		f.col.Inc(stats.CtrReplFenceRejects)
-		f.cfg.OnEvent(fmt.Sprintf("rejected primary with stale term %d (ours %d)", hello.Term, f.term))
-		WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
-		return fmt.Errorf("session with deposed primary (term %d < %d): %w", hello.Term, f.term, ErrStaleTerm)
-	}
-	if hello.Term > f.term {
-		// Durably adopt the new term before welcoming: after a crash this
-		// follower must still refuse the old primary.
-		if err := SaveTerm(f.fs, f.dir, hello.Term); err != nil {
+	// Answer probes (term discovery by a starting primary) until a
+	// session opens; probing adopts nothing.
+	var hello Frame
+	for {
+		fr, err := ReadFrame(conn)
+		if err != nil {
 			return err
 		}
-		f.term = hello.Term
+		if fr.Type == FrameProbe {
+			if err := WriteFrame(conn, Frame{
+				Type: FrameState, Term: f.state.Term, Seq: f.pipe.Seq(),
+				Orig: f.state.At(f.pipe.Seq()),
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if fr.Type != FrameHello {
+			return &FrameError{Reason: "handshake",
+				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, fr.Type)}
+		}
+		hello = fr
+		break
 	}
-	if err := WriteFrame(conn, Frame{Type: FrameWelcome, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+	if hello.Term <= f.state.Term {
+		f.col.Inc(stats.CtrReplFenceRejects)
+		f.cfg.OnEvent(fmt.Sprintf("rejected primary with stale term %d (ours %d)", hello.Term, f.state.Term))
+		WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
+		return fmt.Errorf("session with deposed primary (term %d <= %d): %w", hello.Term, f.state.Term, ErrStaleTerm)
+	}
+	// Durably adopt the new term before welcoming: after a crash this
+	// follower must still refuse the old primary.
+	adopted := f.state
+	adopted.Term = hello.Term
+	adopted.Ledger = append([]TermBase(nil), f.state.Ledger...)
+	if err := SaveTermState(f.fs, f.dir, adopted); err != nil {
+		return err
+	}
+	f.state = adopted
+	if err := WriteFrame(conn, Frame{
+		Type: FrameWelcome, Term: f.state.Term, Seq: f.pipe.Seq(),
+		Orig: f.state.At(f.pipe.Seq()),
+	}); err != nil {
 		return err
 	}
 
@@ -127,31 +154,43 @@ func (f *Follower) Serve(conn net.Conn) error {
 			}
 			return err
 		}
+		if fr.Type == FrameReject {
+			// The primary refused this replica's log at the handshake: it
+			// diverges (a resurrected unacknowledged tail, typically) and
+			// must be reseeded, not caught up.
+			f.cfg.OnEvent(fmt.Sprintf("primary refused our log at its seq %d: reseed required", fr.Seq))
+			return fmt.Errorf("%w: refused by primary at term %d (its log ends at %d, ours at %d)",
+				ErrFollowerDiverged, fr.Term, fr.Seq, f.pipe.Seq())
+		}
 		if fr.Type != FrameRecord {
 			return &FrameError{Reason: "session",
 				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, fr.Type)}
 		}
-		if fr.Term < f.term {
+		if fr.Term < f.state.Term {
 			// The primary was deposed mid-session (we may have adopted a
 			// newer term through another session meanwhile).
 			f.col.Inc(stats.CtrReplFenceRejects)
-			WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
-			return fmt.Errorf("record from deposed primary (term %d < %d): %w", fr.Term, f.term, ErrStaleTerm)
+			WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
+			return fmt.Errorf("record from deposed primary (term %d < %d): %w", fr.Term, f.state.Term, ErrStaleTerm)
 		}
 		switch {
 		case fr.Seq <= f.pipe.Seq():
 			// Duplicate (retry, or a dup-injecting wire): already durable,
 			// so re-ack without re-applying.
 			f.col.Inc(stats.CtrReplDupFrames)
-			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.state.Term, Seq: f.pipe.Seq()}); err != nil {
 				return err
 			}
 		case fr.Seq > f.pipe.Seq()+1:
 			// A gap: records were lost on the wire. Refuse — the primary
 			// re-ships the backlog from its WAL.
-			WriteFrame(conn, Frame{Type: FrameReject, Term: f.term, Seq: f.pipe.Seq()})
+			WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
 			return fmt.Errorf("%w: got seq %d with local seq %d", ErrFollowerBehind, fr.Seq, f.pipe.Seq())
 		default:
+			if err := f.stampOrigin(fr); err != nil {
+				WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
+				return err
+			}
 			batch, err := wal.DecodeBatch(fr.Payload)
 			if err != nil {
 				return &FrameError{Reason: "record payload", Err: err}
@@ -159,30 +198,68 @@ func (f *Follower) Serve(conn net.Conn) error {
 			if err := f.pipe.IngestReplicated(fr.Seq, batch); err != nil {
 				return err
 			}
-			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.term, Seq: f.pipe.Seq()}); err != nil {
+			if err := WriteFrame(conn, Frame{Type: FrameAck, Term: f.state.Term, Seq: f.pipe.Seq()}); err != nil {
 				return err
 			}
 		}
 	}
 }
 
+// stampOrigin maintains the follower's term ledger as records arrive:
+// the first record of each origin term opens a ledger range, persisted
+// durably *before* the record itself — a crash in between leaves an
+// entry whose base does not exist yet, which the next session's
+// handshake simply never consults. An origin below our newest range is
+// a contradiction (this primary's log attributes sequences we already
+// hold to an older term than we stamped them with) and refuses the
+// session rather than silently diverging. Origin 0 — un-ledgered
+// history from a pre-replication log — is applied unstamped.
+func (f *Follower) stampOrigin(fr Frame) error {
+	tail := f.state.tail()
+	switch {
+	case fr.Orig == 0 || fr.Orig == tail:
+		return nil
+	case fr.Orig < tail:
+		return fmt.Errorf("%w: record %d originates at term %d, our ledger is already at term %d",
+			ErrFollowerDiverged, fr.Seq, fr.Orig, tail)
+	}
+	stamped := f.state
+	stamped.Ledger = append([]TermBase(nil), f.state.Ledger...)
+	stamped.Stamp(fr.Orig, fr.Seq)
+	if err := SaveTermState(f.fs, f.dir, stamped); err != nil {
+		return err
+	}
+	f.state = stamped
+	return nil
+}
+
 // Promote turns this follower into the authority for a new term: the
 // incremented term is made durable (fencing every older primary that
-// later reconnects) and returned for the caller to serve under. The
-// follower's log needs no truncation — every record it holds passed
-// the frame and WAL CRCs, and an unacknowledged tail is simply extra
-// batches the old primary never confirmed to its client; the cluster
-// converges on the promoted log by catch-up. Must not run while a
-// Serve session is active (it excludes them via the same lock).
+// later reconnects), the ledger is stamped so records the new primary
+// creates are attributed to it, and the term is returned for the
+// caller to serve under. The promoted log itself needs no truncation —
+// every record it holds passed the frame and WAL CRCs, and an
+// unacknowledged tail is simply extra batches the old primary never
+// confirmed to its client — but the promotion is only safe for the
+// *most-advanced* follower, and the ledger is what enforces the rest:
+// any replica whose log grew past or apart from the promoted one
+// (a deposed primary resurrected by WAL replay, say) presents a
+// conflicting tail stamp at its next handshake and is refused with
+// ErrFollowerDiverged instead of converging by catch-up. Must not run
+// while a Serve session is active (it excludes them via the same
+// lock).
 func (f *Follower) Promote() (uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	newTerm := f.term + 1
-	if err := SaveTerm(f.fs, f.dir, newTerm); err != nil {
+	promoted := f.state
+	promoted.Ledger = append([]TermBase(nil), f.state.Ledger...)
+	promoted.Term = f.state.Term + 1
+	promoted.Stamp(promoted.Term, f.pipe.Seq()+1)
+	if err := SaveTermState(f.fs, f.dir, promoted); err != nil {
 		return 0, err
 	}
-	f.term = newTerm
+	f.state = promoted
 	f.col.Inc(stats.CtrReplFailovers)
-	f.cfg.OnEvent(fmt.Sprintf("promoted to primary at term %d, seq %d", newTerm, f.pipe.Seq()))
-	return newTerm, nil
+	f.cfg.OnEvent(fmt.Sprintf("promoted to primary at term %d, seq %d", promoted.Term, f.pipe.Seq()))
+	return promoted.Term, nil
 }

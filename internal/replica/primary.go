@@ -24,6 +24,16 @@ var ErrStaleTerm = fmt.Errorf("replica: stale term: %w", serve.ErrFenced)
 // non-contiguous.
 var ErrFollowerBehind = errors.New("replica: follower too far behind to catch up")
 
+// ErrFollowerDiverged reports a replica whose log conflicts with the
+// primary's and therefore cannot be attached: it is ahead of the
+// primary's log end, or its newest record originates from a term the
+// primary's log attributes differently at that sequence. Typically a
+// deposed primary restarted as a follower, whose WAL replay
+// resurrected an unacknowledged tail the promoted log never had. Its
+// acks must not count toward quorum; it needs a reseed (wipe its data
+// directory and rejoin empty), not catch-up.
+var ErrFollowerDiverged = errors.New("replica: follower log diverges from the primary's")
+
 // ErrQuorumLost reports a Replicate call that could not assemble
 // acknowledgements from a majority: the batch is durable locally and
 // on the followers that acked, but the primary may no longer promise
@@ -32,8 +42,10 @@ var ErrQuorumLost = errors.New("replica: replication quorum lost")
 
 // PrimaryConfig parameterises the shipping side.
 type PrimaryConfig struct {
-	// Term is this primary's authority claim; followers refuse smaller
-	// terms. The caller persists it (SaveTerm) before serving.
+	// Term is this primary's authority claim; followers refuse any
+	// session that does not claim strictly more than they hold. The
+	// caller persists it (ClaimTerm) before serving, after probing
+	// every reachable peer so the claim is unique.
 	Term uint64
 	// ClusterSize counts every replica including this primary; the
 	// default quorum is a strict majority of it.
@@ -78,6 +90,14 @@ type Primary struct {
 	cfg       PrimaryConfig
 	col       *stats.Collector
 	followers []*followerConn
+
+	// state is the primary's own term ledger and seq its log-end
+	// sequence, loaded from the WAL directory at the first handshake
+	// (ClaimTerm persisted both before this primary started serving)
+	// and kept current by Replicate.
+	state       TermState
+	seq         uint64
+	stateLoaded bool
 }
 
 type followerConn struct {
@@ -88,7 +108,7 @@ type followerConn struct {
 }
 
 // NewPrimary returns a primary with no followers attached. The caller
-// must have persisted cfg.Term with SaveTerm first; a primary serving
+// must have persisted cfg.Term with ClaimTerm first; a primary serving
 // under an unpersisted term could resurrect it after a crash and split
 // the cluster.
 func NewPrimary(cfg PrimaryConfig) *Primary {
@@ -124,12 +144,33 @@ func (p *Primary) Acked() []uint64 {
 
 // AddFollower performs the handshake on conn and attaches the
 // follower; any backlog it is missing ships lazily from the WAL on the
-// next Replicate. A follower that answers with a newer term fences
-// this primary (ErrStaleTerm); one whose position retention has
-// discarded fails with ErrFollowerBehind on that first catch-up.
+// next Replicate. A follower that answers with a newer-or-equal term
+// fences this primary (ErrStaleTerm — terms are claimed strictly above
+// every probed peer, so an equal term means another primary claimed it
+// first); one whose position retention has discarded fails with
+// ErrFollowerBehind on that first catch-up; and one whose log
+// conflicts with ours — ahead of our log end, or tail-stamped by a
+// term our ledger contradicts — is refused with ErrFollowerDiverged
+// and told so, never attached, never counted toward quorum.
 func (p *Primary) AddFollower(conn net.Conn) error {
+	if !p.stateLoaded {
+		st, err := LoadTermState(p.walFS(), p.cfg.WAL.Dir)
+		if err != nil {
+			return err
+		}
+		p.state, p.stateLoaded = st, true
+	}
+	// The ledger is static while we serve (ClaimTerm wrote it before
+	// this primary started), but the log end moves: re-scan it so a
+	// late attach compares against the current tail, not the tail at
+	// first handshake.
+	if end, err := wal.EndSeq(p.cfg.WAL); err != nil {
+		return err
+	} else if end > p.seq {
+		p.seq = end
+	}
 	fc := &followerConn{conn: conn, name: fmt.Sprintf("follower-%d", len(p.followers))}
-	if err := WriteFrame(conn, Frame{Type: FrameHello, Term: p.cfg.Term}); err != nil {
+	if err := p.writeFrame(fc, Frame{Type: FrameHello, Term: p.cfg.Term}); err != nil {
 		return err
 	}
 	f, err := p.readFrame(fc)
@@ -138,9 +179,15 @@ func (p *Primary) AddFollower(conn net.Conn) error {
 	}
 	switch f.Type {
 	case FrameWelcome:
+		if err := p.checkDivergence(f); err != nil {
+			p.col.Inc(stats.CtrReplDivergedRejects)
+			p.cfg.OnEvent(fmt.Sprintf("refused diverged replica at seq %d (stamp %d): %v", f.Seq, f.Orig, err))
+			p.writeFrame(fc, Frame{Type: FrameReject, Term: p.cfg.Term, Seq: p.seq})
+			return err
+		}
 		fc.acked = f.Seq
 	case FrameReject:
-		if f.Term > p.cfg.Term {
+		if f.Term >= p.cfg.Term {
 			return fmt.Errorf("%w: follower holds term %d, ours is %d", ErrStaleTerm, f.Term, p.cfg.Term)
 		}
 		return fmt.Errorf("%w: handshake rejected at seq %d", ErrFollowerBehind, f.Seq)
@@ -153,11 +200,68 @@ func (p *Primary) AddFollower(conn net.Conn) error {
 	return nil
 }
 
+// checkDivergence decides whether the log a Welcome describes can have
+// grown out of ours. A follower ahead of our log end holds records we
+// never had (a resurrected unacknowledged tail); one whose tail stamp
+// names a different origin term than our ledger assigns that sequence
+// holds a conflicting record at it. Either way re-acking it would
+// silently corrupt quorum accounting. An unstamped tail (Orig 0:
+// history that predates the ledger) cannot be checked and is accepted
+// — divergence detection covers replicated history.
+func (p *Primary) checkDivergence(f Frame) error {
+	if f.Seq > p.seq {
+		return fmt.Errorf("%w: follower at seq %d, our log ends at %d", ErrFollowerDiverged, f.Seq, p.seq)
+	}
+	if f.Seq > 0 && f.Orig != 0 {
+		if mine := p.state.At(f.Seq); mine != 0 && mine != f.Orig {
+			return fmt.Errorf("%w: follower's record %d originates at term %d, ours at term %d",
+				ErrFollowerDiverged, f.Seq, f.Orig, mine)
+		}
+	}
+	return nil
+}
+
+func (p *Primary) walFS() wal.FS {
+	if p.cfg.WAL.FS != nil {
+		return p.cfg.WAL.FS
+	}
+	return wal.OSFS{}
+}
+
+// ProbeState asks the replica serving conn for its durable term and
+// log position without claiming or adopting anything. A starting
+// primary probes every reachable peer and claims strictly more than
+// the maximum term it sees (and its own stored one), which is what
+// makes terms unique: a deposed primary restarting cannot re-claim a
+// term its successors already hold.
+func ProbeState(conn net.Conn, timeout time.Duration) (term, seq uint64, err error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := WriteFrame(conn, Frame{Type: FrameProbe}); err != nil {
+		return 0, 0, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		return 0, 0, err
+	}
+	if f.Type != FrameState {
+		return 0, 0, &FrameError{Reason: "probe",
+			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.Type)}
+	}
+	return f.Term, f.Seq, nil
+}
+
 // Replicate ships the batch at seq to every live follower — catching
 // up any that lag from the WAL first — and succeeds once a quorum
 // (counting this primary) holds it durably. Called by the pipeline
 // with the record already in the local log.
 func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
+	if seq > p.seq {
+		p.seq = seq // the record is already in the local log
+	}
 	payload := wal.EncodeBatch(batch)
 	acks := 1 // the primary's own log counts
 	var fenced error
@@ -165,6 +269,14 @@ func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
 	for _, fc := range p.followers {
 		if fc.dead {
 			continue
+		}
+		// Lag is how far this follower trailed when the batch arrived,
+		// measured before shipping closes the gap (afterwards acked has
+		// caught up to seq and the gauge would always read 0).
+		if seq > fc.acked {
+			if lag := seq - fc.acked; lag > maxLag {
+				maxLag = lag
+			}
 		}
 		if err := p.shipTo(fc, seq, payload); err != nil {
 			if errors.Is(err, serve.ErrFenced) {
@@ -176,9 +288,6 @@ func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
 		}
 		acks++
 		p.col.Inc(stats.CtrReplAcks)
-		if lag := seq - fc.acked; lag > maxLag {
-			maxLag = lag
-		}
 	}
 	p.col.Set(stats.CtrReplLag, maxLag)
 	if fenced != nil {
@@ -231,9 +340,13 @@ func (p *Primary) catchUp(fc *followerConn, to uint64) error {
 
 // sendRecord ships one record and waits for its acknowledgement.
 // Acknowledgements below seq are stale — re-acks of frames a faulty
-// wire duplicated — and are skipped, not errors.
+// wire duplicated — and are skipped, not errors. Each record carries
+// its origin term from the primary's ledger (catch-up records keep the
+// term that created them, not this session's), so followers can stamp
+// their own ledgers identically.
 func (p *Primary) sendRecord(fc *followerConn, seq uint64, payload []byte, catchup bool) error {
-	if err := WriteFrame(fc.conn, Frame{Type: FrameRecord, Term: p.cfg.Term, Seq: seq, Payload: payload}); err != nil {
+	fr := Frame{Type: FrameRecord, Term: p.cfg.Term, Seq: seq, Orig: p.state.At(seq), Payload: payload}
+	if err := p.writeFrame(fc, fr); err != nil {
 		return err
 	}
 	p.col.Inc(stats.CtrReplShippedRecords)
@@ -271,6 +384,18 @@ func (p *Primary) readFrame(fc *followerConn) (Frame, error) {
 	f, err := ReadFrame(fc.conn)
 	fc.conn.SetReadDeadline(time.Time{})
 	return f, err
+}
+
+// writeFrame sends one frame to the follower under the same deadline
+// reads honor: a stalled-but-connected follower (full TCP send buffer
+// during a large catch-up, say) must not block Replicate — and with it
+// Ingest and the whole serve loop — indefinitely. On timeout the
+// caller drops the follower, mirroring a missed ack.
+func (p *Primary) writeFrame(fc *followerConn, f Frame) error {
+	fc.conn.SetWriteDeadline(time.Now().Add(p.cfg.AckTimeout))
+	err := WriteFrame(fc.conn, f)
+	fc.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 func (p *Primary) dropFollower(fc *followerConn, cause error) {

@@ -171,7 +171,7 @@ func TestReplicatedIngestReachesQuorum(t *testing.T) {
 	f2, c2, d2 := startFollower(t, w, t.TempDir())
 
 	prim := NewPrimary(PrimaryConfig{Term: 1, ClusterSize: 3, WAL: pcfg.WAL, Collector: col})
-	if err := SaveTerm(wal.OSFS{}, pdir, 1); err != nil {
+	if _, err := ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := prim.AddFollower(c1); err != nil {
@@ -215,6 +215,13 @@ func TestReplicatedIngestReachesQuorum(t *testing.T) {
 	}
 	if col.Get(stats.CtrReplShippedRecords) != 2*n {
 		t.Fatalf("shipped counter = %d, want %d", col.Get(stats.CtrReplShippedRecords), 2*n)
+	}
+	// Lag is measured before shipping closes the gap: an in-step
+	// follower trails by exactly the record being replicated, never 0
+	// (that would mean the gauge measures after catch-up) and never an
+	// underflowed huge value.
+	if got := col.Get(stats.CtrReplLag); got != 1 {
+		t.Fatalf("lag gauge = %d, want 1", got)
 	}
 	f1.Pipeline().Close()
 	f2.Pipeline().Close()

@@ -2,39 +2,127 @@ package replica
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
+	stdfs "io/fs"
 
 	"github.com/tdgraph/tdgraph/internal/wal"
 )
 
 // The term is the cluster's fencing epoch: a promotion increments it
-// durably *before* the new primary serves, so a deposed primary's
-// frames (carrying the old term) are refused by every follower that
-// heard about the promotion. The term must survive the same crashes
-// the WAL survives, and the wal.FS seam has no rename, so it is stored
-// in two independently-written slots — a torn write destroys at most
-// one, and load takes the highest CRC-valid value.
+// durably *before* the new primary serves, and a starting primary
+// claims one strictly greater than every term its reachable peers hold
+// — so a deposed primary's frames (carrying an old term) are refused
+// by every follower that heard about the promotion, and no two
+// primaries can ever serve under the same term.
+//
+// Alongside the fencing term each replica keeps a term *ledger*: one
+// (term, baseSeq) entry per term that originated records in its log,
+// meaning "records from baseSeq up to the next entry's base were
+// created under term". The ledger is the replication analogue of
+// Raft's per-entry term: because a term has at most one primary and a
+// follower only appends contiguously inside a verified session, two
+// logs whose tails carry the same (origin term, seq) are identical
+// through that seq — which lets a primary detect a rejoining replica
+// whose log has silently diverged (e.g. a deposed primary restarted as
+// a follower, resurrecting an unacknowledged tail the promoted log
+// never had) instead of counting its acks toward quorum.
+//
+// Both live in one state file. It must survive the same crashes the
+// WAL survives, and the wal.FS seam has no rename, so it is stored in
+// two independently-written slots — a torn write destroys at most one,
+// and load takes the best CRC-valid value.
 
-const termMagic = 0x5444544D // "TDTM"
+const (
+	termMagic   = 0x5444544D // "TDTM"
+	termVersion = 2
+	// maxLedgerEntries bounds the decode allocation; one entry exists
+	// per term ever adopted, so real ledgers hold a handful.
+	maxLedgerEntries = 4096
+)
 
 var termSlots = [2]string{"term.a", "term.b"}
 
-// SaveTerm durably records term in dir (the WAL directory; the slot
-// files do not parse as segment names, so the log ignores them). Each
-// slot is written and fsynced in turn, then the directory entry is
-// synced.
-func SaveTerm(fs wal.FS, dir string, term uint64) error {
-	var buf [16]byte
-	binary.LittleEndian.PutUint32(buf[0:4], termMagic)
-	binary.LittleEndian.PutUint64(buf[4:12], term)
-	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(buf[0:12]))
+// TermBase is one ledger entry: records with sequence >= Base (up to
+// the next entry's base) were created under Term.
+type TermBase struct {
+	Term uint64
+	Base uint64
+}
+
+// TermState is a replica's durable replication state: the fencing term
+// and the origin-term ledger of its log.
+type TermState struct {
+	// Term is the highest term this replica has durably adopted; it
+	// refuses sessions that do not claim a strictly greater one.
+	Term uint64
+	// Ledger maps log ranges to the terms that created them, ascending
+	// in both Term and Base.
+	Ledger []TermBase
+}
+
+// At returns the origin term of the record at seq, or 0 when the
+// ledger does not cover it (pre-replication history, or seq 0).
+func (s TermState) At(seq uint64) uint64 {
+	if seq == 0 {
+		return 0
+	}
+	t := uint64(0)
+	for _, e := range s.Ledger {
+		if e.Base <= seq {
+			t = e.Term
+		}
+	}
+	return t
+}
+
+// tail returns the newest ledger entry's term (0 for an empty ledger).
+func (s TermState) tail() uint64 {
+	if len(s.Ledger) == 0 {
+		return 0
+	}
+	return s.Ledger[len(s.Ledger)-1].Term
+}
+
+// Stamp records that log sequences from base onward originate at term.
+// Entries that claimed base or beyond are superseded (a crashed
+// primary that never wrote a record under its claimed term is simply
+// overwritten by the next claim at the same base).
+func (s *TermState) Stamp(term, base uint64) {
+	for len(s.Ledger) > 0 && s.Ledger[len(s.Ledger)-1].Base >= base {
+		s.Ledger = s.Ledger[:len(s.Ledger)-1]
+	}
+	if term > s.tail() {
+		s.Ledger = append(s.Ledger, TermBase{Term: term, Base: base})
+	}
+}
+
+// SaveTermState durably records the state in dir (the WAL directory;
+// the slot files do not parse as segment names, so the log ignores
+// them). Each slot is written and fsynced in turn, then the directory
+// entry is synced.
+func SaveTermState(fs wal.FS, dir string, s TermState) error {
+	if len(s.Ledger) > maxLedgerEntries {
+		return fmt.Errorf("replica: term ledger overflow: %d entries", len(s.Ledger))
+	}
+	buf := make([]byte, 0, 19+16*len(s.Ledger)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, termMagic)
+	buf = append(buf, termVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Term)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Ledger)))
+	for _, e := range s.Ledger {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Term)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Base)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	for _, slot := range termSlots {
 		f, err := fs.Create(dir + "/" + slot)
 		if err != nil {
 			return err
 		}
-		if _, err := f.Write(buf[:]); err != nil {
+		if _, err := f.Write(buf); err != nil {
 			f.Close()
 			return err
 		}
@@ -49,28 +137,102 @@ func SaveTerm(fs wal.FS, dir string, term uint64) error {
 	return fs.SyncDir(dir)
 }
 
-// LoadTerm returns the highest valid stored term, 0 when none exists
-// (a replica that has never heard of any primary).
-func LoadTerm(fs wal.FS, dir string) (uint64, error) {
-	best := uint64(0)
+// LoadTermState returns the best stored state — the valid slot with
+// the highest term (ties broken by the longer ledger) — or the zero
+// state when none exists (a replica that has never heard of any
+// primary). A slot that is absent or torn mid-write is skipped; but if
+// no slot is valid and any slot failed with a real I/O error, that
+// error is returned rather than a forged zero term — a transiently
+// erroring disk must not make a replica forget its adopted term and
+// re-admit a deposed primary.
+func LoadTermState(fs wal.FS, dir string) (TermState, error) {
+	var best TermState
+	found := false
+	var ioErr error
 	for _, slot := range termSlots {
 		f, err := fs.Open(dir + "/" + slot)
 		if err != nil {
-			continue // missing or unreadable slot: the other one decides
+			if !errors.Is(err, stdfs.ErrNotExist) && ioErr == nil {
+				ioErr = fmt.Errorf("replica: opening term slot %s: %w", slot, err)
+			}
+			continue
 		}
-		var buf [16]byte
-		_, rerr := io.ReadFull(f, buf[:])
+		data, rerr := io.ReadAll(f)
 		f.Close()
 		if rerr != nil {
+			if ioErr == nil {
+				ioErr = fmt.Errorf("replica: reading term slot %s: %w", slot, rerr)
+			}
 			continue
 		}
-		if binary.LittleEndian.Uint32(buf[0:4]) != termMagic ||
-			binary.LittleEndian.Uint32(buf[12:16]) != crc32.ChecksumIEEE(buf[0:12]) {
-			continue
+		s, ok := decodeTermState(data)
+		if !ok {
+			continue // torn write: the other slot decides
 		}
-		if t := binary.LittleEndian.Uint64(buf[4:12]); t > best {
-			best = t
+		if !found || s.Term > best.Term ||
+			(s.Term == best.Term && len(s.Ledger) > len(best.Ledger)) {
+			best, found = s, true
 		}
 	}
+	if !found && ioErr != nil {
+		return TermState{}, ioErr
+	}
 	return best, nil
+}
+
+func decodeTermState(data []byte) (TermState, bool) {
+	if len(data) < 19+4 {
+		return TermState{}, false
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return TermState{}, false
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != termMagic || body[4] != termVersion {
+		return TermState{}, false
+	}
+	s := TermState{Term: binary.LittleEndian.Uint64(body[5:13])}
+	n := int(binary.LittleEndian.Uint16(body[13:15]))
+	if n > maxLedgerEntries || len(body) != 15+16*n {
+		return TermState{}, false
+	}
+	for i := 0; i < n; i++ {
+		off := 15 + 16*i
+		s.Ledger = append(s.Ledger, TermBase{
+			Term: binary.LittleEndian.Uint64(body[off : off+8]),
+			Base: binary.LittleEndian.Uint64(body[off+8 : off+16]),
+		})
+	}
+	return s, true
+}
+
+// ClaimTerm durably adopts term as this replica's fencing epoch and
+// stamps the ledger so every record the replica appends from here on
+// is attributed to it. The caller must have established uniqueness
+// first (probe every reachable peer and claim strictly more than the
+// maximum, or promote with term+1); a primary serving under an
+// unclaimed term could resurrect it after a crash and split the
+// cluster.
+func ClaimTerm(opt wal.Options, term uint64) (TermState, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	s, err := LoadTermState(fs, opt.Dir)
+	if err != nil {
+		return TermState{}, err
+	}
+	if term <= s.Term {
+		return TermState{}, fmt.Errorf("%w: claiming term %d, already adopted %d", ErrStaleTerm, term, s.Term)
+	}
+	end, err := wal.EndSeq(opt)
+	if err != nil {
+		return TermState{}, err
+	}
+	s.Term = term
+	s.Stamp(term, end+1)
+	if err := SaveTermState(fs, opt.Dir, s); err != nil {
+		return TermState{}, err
+	}
+	return s, nil
 }

@@ -36,12 +36,23 @@ const (
 	// FrameReject refuses a session or a record, follower → primary:
 	// Term is the follower's (possibly newer) term, Seq its last
 	// durable sequence. A reject with a newer term fences the primary.
+	// Sent primary → follower it refuses the follower itself: its log
+	// diverges from the primary's and it must be reseeded.
 	FrameReject = 5
+	// FrameProbe asks a follower for its durable term and log position
+	// without claiming anything, primary → follower: a starting primary
+	// probes every peer and claims max(term)+1, so no two primaries can
+	// ever serve under the same term. Term and Seq are unused.
+	FrameProbe = 6
+	// FrameState answers a probe, follower → primary: Term is the
+	// follower's durable term, Seq its last durable sequence, Orig the
+	// origin term of its newest record. Nothing is adopted.
+	FrameState = 7
 )
 
 const (
 	frameMagic   = 0x54444750 // "TDGP"
-	frameHdrSize = 29         // magic u32 | type u8 | term u64 | seq u64 | plen u32 | crc u32
+	frameHdrSize = 37         // magic u32 | type u8 | term u64 | seq u64 | orig u64 | plen u32 | crc u32
 	// maxFramePayload bounds a frame so a corrupted length field cannot
 	// drive an allocation; matches the WAL's record bound.
 	maxFramePayload = 1 << 30
@@ -61,11 +72,18 @@ type FrameError struct {
 func (e *FrameError) Error() string { return "replica: frame: " + e.Reason + ": " + e.Err.Error() }
 func (e *FrameError) Unwrap() error { return e.Err }
 
-// Frame is one protocol message.
+// Frame is one protocol message. Term is always the sender's session
+// (fencing) term; Orig is a second, per-record term: on FrameRecord it
+// is the term under which the record was *created* (catch-up records
+// keep their original term), on FrameWelcome and FrameState it is the
+// origin term of the replica's newest record — the "tail stamp" the
+// primary compares against its own term ledger to detect a divergent
+// log at the handshake.
 type Frame struct {
 	Type    byte
 	Term    uint64
 	Seq     uint64
+	Orig    uint64
 	Payload []byte
 }
 
@@ -78,11 +96,12 @@ func WriteFrame(w io.Writer, f Frame) error {
 	buf[4] = f.Type
 	binary.LittleEndian.PutUint64(buf[5:13], f.Term)
 	binary.LittleEndian.PutUint64(buf[13:21], f.Seq)
-	binary.LittleEndian.PutUint32(buf[21:25], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint64(buf[21:29], f.Orig)
+	binary.LittleEndian.PutUint32(buf[29:33], uint32(len(f.Payload)))
 	copy(buf[frameHdrSize:], f.Payload)
-	crc := crc32.ChecksumIEEE(buf[0:25])
+	crc := crc32.ChecksumIEEE(buf[0:33])
 	crc = crc32.Update(crc, crc32.IEEETable, f.Payload)
-	binary.LittleEndian.PutUint32(buf[25:29], crc)
+	binary.LittleEndian.PutUint32(buf[33:37], crc)
 	if _, err := w.Write(buf); err != nil {
 		return &FrameError{Reason: "write", Err: err}
 	}
@@ -110,10 +129,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		Type: hdr[4],
 		Term: binary.LittleEndian.Uint64(hdr[5:13]),
 		Seq:  binary.LittleEndian.Uint64(hdr[13:21]),
+		Orig: binary.LittleEndian.Uint64(hdr[21:29]),
 	}
-	plen := binary.LittleEndian.Uint32(hdr[21:25])
-	wantCRC := binary.LittleEndian.Uint32(hdr[25:29])
-	if f.Type < FrameHello || f.Type > FrameReject {
+	plen := binary.LittleEndian.Uint32(hdr[29:33])
+	wantCRC := binary.LittleEndian.Uint32(hdr[33:37])
+	if f.Type < FrameHello || f.Type > FrameState {
 		return Frame{}, &FrameError{Reason: "bad type",
 			Err: fmt.Errorf("%w: type %d", ErrBadFrame, f.Type)}
 	}
@@ -127,7 +147,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 			return Frame{}, &FrameError{Reason: "short payload", Err: err}
 		}
 	}
-	crc := crc32.ChecksumIEEE(hdr[0:25])
+	crc := crc32.ChecksumIEEE(hdr[0:33])
 	crc = crc32.Update(crc, crc32.IEEETable, f.Payload)
 	if crc != wantCRC {
 		return Frame{}, &FrameError{Reason: "bad checksum",

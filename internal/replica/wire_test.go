@@ -10,11 +10,13 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	for _, f := range []Frame{
 		{Type: FrameHello, Term: 3},
-		{Type: FrameWelcome, Term: 3, Seq: 17},
-		{Type: FrameRecord, Term: 3, Seq: 18, Payload: []byte{1, 2, 3, 4, 5}},
+		{Type: FrameWelcome, Term: 3, Seq: 17, Orig: 2},
+		{Type: FrameRecord, Term: 3, Seq: 18, Orig: 3, Payload: []byte{1, 2, 3, 4, 5}},
 		{Type: FrameAck, Term: 3, Seq: 18},
 		{Type: FrameReject, Term: 9, Seq: 12},
 		{Type: FrameRecord, Term: 1, Seq: 1, Payload: nil},
+		{Type: FrameProbe},
+		{Type: FrameState, Term: 4, Seq: 33, Orig: 4},
 	} {
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, f); err != nil {
@@ -24,7 +26,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ReadFrame(%+v): %v", f, err)
 		}
-		if got.Type != f.Type || got.Term != f.Term || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+		if got.Type != f.Type || got.Term != f.Term || got.Seq != f.Seq || got.Orig != f.Orig || !bytes.Equal(got.Payload, f.Payload) {
 			t.Fatalf("round trip changed the frame: sent %+v, got %+v", f, got)
 		}
 	}

@@ -201,16 +201,17 @@ const (
 	CtrServeCheckpoints = "serve.checkpoints"        // checkpoint generations written
 
 	// Replication events (internal/replica).
-	CtrReplShippedRecords = "repl.records_shipped"   // records sent to followers (incl. catch-up)
-	CtrReplShippedBytes   = "repl.bytes_shipped"     // payload bytes sent to followers
-	CtrReplAcks           = "repl.acks"              // follower acknowledgements received
-	CtrReplLag            = "repl.lag_sequences"     // max follower lag at the last quorum check
-	CtrReplFollowerDrops  = "repl.follower_drops"    // followers dropped (conn error or behind)
-	CtrReplQuorumFailures = "repl.quorum_failures"   // Replicate calls that missed quorum
-	CtrReplFailovers      = "repl.failovers"         // follower promotions to primary
-	CtrReplFenceRejects   = "repl.fence_rejections"  // stale-term frames/sessions rejected
-	CtrReplCatchupRecords = "repl.catchup_records"   // records shipped from the WAL backlog
-	CtrReplDupFrames      = "repl.duplicate_frames"  // duplicate records re-acked by followers
+	CtrReplShippedRecords  = "repl.records_shipped"  // records sent to followers (incl. catch-up)
+	CtrReplShippedBytes    = "repl.bytes_shipped"    // payload bytes sent to followers
+	CtrReplAcks            = "repl.acks"             // follower acknowledgements received
+	CtrReplLag             = "repl.lag_sequences"    // max follower lag at the last quorum check
+	CtrReplFollowerDrops   = "repl.follower_drops"   // followers dropped (conn error or behind)
+	CtrReplQuorumFailures  = "repl.quorum_failures"  // Replicate calls that missed quorum
+	CtrReplFailovers       = "repl.failovers"        // follower promotions to primary
+	CtrReplFenceRejects    = "repl.fence_rejections" // stale-term frames/sessions rejected
+	CtrReplCatchupRecords  = "repl.catchup_records"  // records shipped from the WAL backlog
+	CtrReplDupFrames       = "repl.duplicate_frames" // duplicate records re-acked by followers
+	CtrReplDivergedRejects = "repl.diverged_rejects" // replicas refused for a conflicting log
 )
 
 // Series is an ordered list of labelled float values — one bar group or one

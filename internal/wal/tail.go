@@ -255,6 +255,44 @@ func (t *Tailer) successor() (segInfo, bool, error) {
 	return best, found, nil
 }
 
+// EndSeq reports the sequence of the last complete record in the log
+// directory, 0 when the log is empty. Only the newest segment is
+// scanned, so the cost is bounded by one segment regardless of log
+// size. A torn record at the tail is excluded, matching what recovery
+// would keep — an append that never completed was never acknowledged.
+func EndSeq(opt Options) (uint64, error) {
+	opt = opt.withDefaults()
+	probe := Tailer{fs: opt.FS, dir: opt.Dir}
+	segs, err := probe.segments()
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	base := segs[0].base
+	for _, s := range segs {
+		if s.base > base {
+			base = s.base
+		}
+	}
+	// A freshly rotated segment may hold no records yet; the log then
+	// ends at the sequence the rotation sealed, base-1.
+	tl := NewTailer(opt, base)
+	defer tl.Close()
+	end := base - 1
+	for {
+		seq, _, err := tl.Next()
+		if err != nil {
+			if errors.Is(err, ErrCaughtUp) {
+				return end, nil
+			}
+			return 0, err
+		}
+		end = seq
+	}
+}
+
 // segments mirrors Log.segments for the tailer's standalone FS view.
 func (t *Tailer) segments() ([]segInfo, error) {
 	names, err := t.fs.List(t.dir)
