@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race faults chaos determinism fuzz-smoke check bench benchsim clean
+.PHONY: all build vet vet-tdgraph test race faults chaos determinism fuzz-smoke check bench benchsim clean
 
 all: check
 
@@ -16,6 +16,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant analyzer suite (internal/analysis): mechanically
+# enforces the determinism contract (no wall-clock / global rand /
+# order-sensitive map iteration in sim/engine/core/accel/graph/algo),
+# the %w error-wrapping contract, defer-unlock discipline, the
+# fsync-before-ack ordering in wal/replica, and stats counter-table
+# registration. See DESIGN.md "Static-analysis ladder".
+vet-tdgraph:
+	$(GO) run ./cmd/tdgraph-vet ./...
 
 test:
 	$(GO) test ./...
@@ -52,7 +61,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzReplicaFrame$$' -fuzztime 10s ./internal/replica
 
-check: build vet race faults chaos
+check: build vet vet-tdgraph race faults chaos
 
 # Paper-figure benchmark sweep (see bench_test.go for the cell list).
 bench:

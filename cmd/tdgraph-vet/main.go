@@ -1,0 +1,24 @@
+// Command tdgraph-vet runs the project-invariant analyzer suite
+// (internal/analysis) over the given package patterns and exits
+// nonzero when any contract violation is found:
+//
+//	go run ./cmd/tdgraph-vet ./...
+//
+// Checks: determinism, errwrap, lockorder, syncack, ctrreg — see
+// `tdgraph-vet -list` and the static-analysis ladder in DESIGN.md.
+// Suppress a finding with an inline directive carrying a reason:
+//
+//	//tdgraph:allow <check> <reason>
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"os"
+
+	"github.com/tdgraph/tdgraph/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

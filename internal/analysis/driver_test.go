@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The driver contract: 0 clean, 1 findings (one file:line:col line
+// per finding on stdout), 2 usage/load errors. These tests run Main
+// exactly as cmd/tdgraph-vet does, against small explicit package
+// dirs so they stay fast.
+
+func TestDriverFindingsExitOne(t *testing.T) {
+	var out, errb strings.Builder
+	code := Main([]string{"internal/analysis/testdata/driver"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	line := strings.TrimSpace(out.String())
+	re := regexp.MustCompile(`^internal/analysis/testdata/driver/bad\.go:\d+:\d+: errwrap: .+%v.+%w`)
+	if !re.MatchString(line) {
+		t.Fatalf("output %q does not match %v", line, re)
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Fatalf("stderr %q missing findings summary", errb.String())
+	}
+}
+
+func TestDriverCleanExitZero(t *testing.T) {
+	var out, errb strings.Builder
+	// The analysis package itself must stay clean under its own suite.
+	code := Main([]string{"internal/analysis"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+func TestDriverCheckSubset(t *testing.T) {
+	var out, errb strings.Builder
+	// Only ctrreg selected: the planted errwrap violation is not run.
+	code := Main([]string{"-checks", "ctrreg", "internal/analysis/testdata/driver"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestDriverUnknownCheckExitTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := Main([]string{"-checks", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown check "nonsense"`) {
+		t.Fatalf("stderr %q missing unknown-check message", errb.String())
+	}
+}
+
+func TestDriverBadPatternExitTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := Main([]string{"no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := Main([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "errwrap", "lockorder", "syncack", "ctrreg"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

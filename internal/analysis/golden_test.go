@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+// The five project checks, each against its golden testdata package.
+// The import path override places the testdata inside (or outside)
+// the package sets the checks gate on.
+
+func TestGoldenDeterminism(t *testing.T) {
+	runGolden(t, DeterminismCheck(), "determinism", "github.com/tdgraph/tdgraph/internal/sim", nil)
+}
+
+func TestGoldenErrwrap(t *testing.T) {
+	runGolden(t, ErrwrapCheck(), "errwrap", "github.com/tdgraph/tdgraph/internal/vettest", nil)
+}
+
+func TestGoldenLockorder(t *testing.T) {
+	runGolden(t, LockorderCheck(), "lockorder", "github.com/tdgraph/tdgraph/internal/vettest", nil)
+}
+
+func TestGoldenSyncack(t *testing.T) {
+	runGolden(t, SyncackCheck(), "syncack", "github.com/tdgraph/tdgraph/internal/replica", nil)
+}
+
+func TestGoldenCtrreg(t *testing.T) {
+	runGolden(t, CtrregCheck(), "ctrreg", "github.com/tdgraph/tdgraph/internal/vettest",
+		map[string]bool{"x.registered": true, "wal.appends": true})
+}
+
+// TestGoldenDeterminismOutsideSet proves the package gate: the same
+// violating file under a non-deterministic import path yields nothing.
+func TestGoldenDeterminismOutsideSet(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg := loadGoldenPackage(t, loader, "determinism", "github.com/tdgraph/tdgraph/internal/serve2")
+	diags := RunChecks([]*Check{DeterminismCheck()}, pkg, nil)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside the deterministic package set: %v", diags)
+	}
+}
+
+// TestGoldenSyncackOutsideSet proves the wal/replica gate.
+func TestGoldenSyncackOutsideSet(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg := loadGoldenPackage(t, loader, "syncack", "github.com/tdgraph/tdgraph/internal/stream2")
+	diags := RunChecks([]*Check{SyncackCheck()}, pkg, nil)
+	if len(diags) != 0 {
+		t.Fatalf("syncack fired outside wal/replica: %v", diags)
+	}
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"io"
+	"strings"
+)
+
+// Checks returns the full suite in stable order.
+func Checks() []*Check {
+	return []*Check{
+		DeterminismCheck(),
+		ErrwrapCheck(),
+		LockorderCheck(),
+		SyncackCheck(),
+		CtrregCheck(),
+	}
+}
+
+// checkNames returns the valid-name set for directive validation.
+func checkNames(checks []*Check) map[string]bool {
+	m := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		m[c.Name] = true
+	}
+	return m
+}
+
+// RunChecks runs every check over one loaded package and returns the
+// surviving (non-suppressed) diagnostics plus directive-validation
+// diagnostics, sorted by position.
+func RunChecks(checks []*Check, pkg *Package, counters map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		pass := &Pass{
+			CheckName: c.Name,
+			Path:      pkg.Path,
+			Fset:      tokenFileSetOf(pkg),
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			Info:      pkg.Info,
+			Counters:  counters,
+			diags:     &diags,
+		}
+		c.Run(pass)
+	}
+	dirs, dirDiags := parseDirectives(tokenFileSetOf(pkg), pkg.Files, checkNames(checks))
+	diags = suppress(diags, dirs)
+	diags = append(diags, dirDiags...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// tokenFileSetOf returns the FileSet that positioned pkg's files.
+// Packages loaded by Loader share its FileSet; the golden harness
+// stores one per package.
+func tokenFileSetOf(pkg *Package) *token.FileSet { return pkg.fset }
+
+// CounterTable extracts the registered counter names from a loaded
+// internal/stats package: the values of every package-level string
+// constant whose name starts with "Ctr".
+func CounterTable(pkg *types.Package) map[string]bool {
+	out := make(map[string]bool)
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Ctr") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if v := c.Val(); v.Kind() == constant.String {
+			out[constant.StringVal(v)] = true
+		}
+	}
+	return out
+}
+
+// Main is the tdgraph-vet driver, factored out of cmd/tdgraph-vet so
+// the exit-code and output contract is unit-testable. It loads the
+// packages matched by args (default ./...), runs the suite, prints
+// one "file:line:col: check: message" line per finding to stdout, and
+// returns the process exit code: 0 clean, 1 findings, 2 usage or load
+// failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdgraph-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the checks and exit")
+	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tdgraph-vet [-list] [-checks a,b] [packages]\n\n"+
+			"Runs the TDGraph project-invariant analyzers over the given package\n"+
+			"patterns (default ./...). Suppress a finding with an inline\n"+
+			"directive carrying a reason: %s <check> <reason>\n\nChecks:\n", AllowDirective)
+		for _, c := range Checks() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name, c.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	checks := Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		valid := checkNames(checks)
+		var sel []*Check
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !valid[name] {
+				fmt.Fprintf(stderr, "tdgraph-vet: unknown check %q\n", name)
+				return 2
+			}
+			for _, c := range checks {
+				if c.Name == name {
+					sel = append(sel, c)
+				}
+			}
+		}
+		checks = sel
+	}
+
+	loader, err := NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "tdgraph-vet: %v\n", err)
+		return 2
+	}
+	dirs, err := loader.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "tdgraph-vet: %v\n", err)
+		return 2
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "tdgraph-vet: %v\n", err)
+			return 2
+		}
+		if pkg.TypeErr != nil {
+			fmt.Fprintf(stderr, "tdgraph-vet: %s: type checking incomplete: %v\n", pkg.Path, pkg.TypeErr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	// The counter table comes from whichever loaded package is the
+	// stats package; when the patterns exclude it, load it explicitly
+	// so ctrreg still has its registry.
+	var counters map[string]bool
+	for _, p := range pkgs {
+		if pathHasSuffix(p.Path, "internal/stats") && p.Pkg != nil {
+			counters = CounterTable(p.Pkg)
+			break
+		}
+	}
+	if counters == nil {
+		if tp, _, err := loader.TypeCheckImport(loader.ModulePath() + "/internal/stats"); err == nil {
+			counters = CounterTable(tp)
+		}
+	}
+
+	findings := 0
+	for _, p := range pkgs {
+		for _, d := range RunChecks(checks, p, counters) {
+			findings++
+			fmt.Fprintln(stdout, relposition(loader, d))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "tdgraph-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// relposition renders a diagnostic with the filename relative to the
+// module root when possible, for stable, readable output.
+func relposition(l *Loader, d Diagnostic) string {
+	name := d.Position.Filename
+	if rel, ok := strings.CutPrefix(name, l.dir+"/"); ok {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Position.Line, d.Position.Column, d.Check, d.Message)
+}
+
+// TypeCheckImport resolves and type-checks an import path through the
+// shared source importer (used to pull in internal/stats when the
+// analyzed patterns do not include it).
+func (l *Loader) TypeCheckImport(path string) (*types.Package, *types.Info, error) {
+	pkg, err := l.imp.Import(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, nil, nil
+}
+
+// walkFuncs invokes fn for every function or method body in the files.
+func walkFuncs(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

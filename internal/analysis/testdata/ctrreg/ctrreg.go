@@ -1,0 +1,30 @@
+// Golden input for the ctrreg check. The harness seeds the registry
+// with {"x.registered", "wal.appends"}; everything else is flagged.
+package vettest
+
+import "github.com/tdgraph/tdgraph/internal/stats"
+
+const localCtr = "x.unregistered_const"
+
+func touch(c *stats.Collector, dyn string) {
+	c.Inc("x.registered")
+	c.Add("x.registered", 2)
+	c.Inc(stats.CtrWALAppends) // "wal.appends" resolves through the import
+	c.Inc("x.bogus")           // want `counter "x\.bogus" is not declared`
+	c.Add(localCtr, 1)         // want `counter "x\.unregistered_const" is not declared`
+	c.Set("x.gauge", 9)        // want `counter "x\.gauge" is not declared`
+	c.Inc(dyn)                 // dynamic names cannot be checked statically
+	c.Inc("x." + dyn)          // non-constant concatenation is skipped too
+}
+
+func notACollector(m map[string]int) {
+	type fake struct{}
+	_ = fake{}
+	inc := func(name string) { m[name]++ }
+	inc("x.whatever") // not a stats.Collector method: ignored
+}
+
+func suppressedTouch(c *stats.Collector) {
+	//tdgraph:allow ctrreg golden test for the suppression path
+	c.Inc("x.suppressed")
+}

@@ -1,0 +1,114 @@
+// Golden input for the determinism check. The harness type-checks
+// this file under the internal/sim import path, placing it inside the
+// deterministic package set.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock`
+}
+
+func dice() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(6)
+}
+
+func report(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside a map range`
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: the extraction idiom is exempt
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func text(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map range`
+	}
+	return b.String()
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation inside a map range`
+	}
+	return s
+}
+
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map-to-map copy is order-insensitive
+	}
+	return out
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+func indexed(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	buf := make([]string, len(m))
+	i := 0
+	for k := range m {
+		buf[i] = k // want `indexed slice write with a counter advanced inside a map range`
+		i++
+	}
+	out = append(out, buf...)
+	return out
+}
+
+func scalarSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // scalar accumulation is order-insensitive
+	}
+	return n
+}
+
+func overSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slice ranges are ordered; never flagged
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//tdgraph:allow determinism golden test for the suppression path
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Deliberate errwrap violation: the driver tests point tdgraph-vet at
+// this package to pin the exit-code and output-format contract. The
+// testdata directory is invisible to ./... walks (and to the go
+// tool), so the violation never reaches make check.
+package driver
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrap() error {
+	return fmt.Errorf("ouch: %v", errBase)
+}

@@ -1,0 +1,55 @@
+// Golden input for the errwrap check: error values must ride %w, and
+// typed errors are constructed only by their owning package.
+package vettest
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+var errBase = errors.New("base")
+
+// LocalError is owned by this package, so constructing it here is fine.
+type LocalError struct{ Err error }
+
+func (e *LocalError) Error() string { return "local: " + e.Err.Error() }
+func (e *LocalError) Unwrap() error { return e.Err }
+
+func wrapV(err error) error {
+	return fmt.Errorf("outer: %v", err) // want `error value formatted with %v`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("outer: %s", err) // want `error value formatted with %s`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("outer: %w", err)
+}
+
+func mixedVerbs(err error) error {
+	return fmt.Errorf("%w: item %d: %v", errBase, 7, err) // want `error value formatted with %v`
+}
+
+func doubleWrap(err error) error {
+	return fmt.Errorf("%w: %w", errBase, err)
+}
+
+func notAnError(name string, n int) error {
+	return fmt.Errorf("bad name %v (%d)", name, n)
+}
+
+func ownConstruction() error {
+	return &LocalError{Err: errBase}
+}
+
+func foreignConstruction() error {
+	return &wal.LogError{Segment: "000.wal", Err: errBase} // want `constructing wal\.LogError outside its owning package`
+}
+
+func suppressedWrap(err error) error {
+	//tdgraph:allow errwrap golden test for the suppression path
+	return fmt.Errorf("outer: %v", err)
+}

@@ -1,0 +1,79 @@
+// Golden input for the lockorder check.
+package locktest
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	cb func()
+	n  int
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 0 {
+		return b.n
+	}
+	return 0
+}
+
+func (b *box) straightLine() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) unlockThenReturn(c bool) int {
+	b.mu.Lock()
+	if c {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) earlyReturn(c bool) int {
+	b.mu.Lock()
+	if c {
+		return 1 // want `return while b\.mu may still be held`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) callbackHeld() {
+	b.mu.Lock()
+	b.cb() // want `callback invoked while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) callbackDeferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cb() // covered by the defer: a panic still releases the lock
+}
+
+func (b *box) leak() {
+	b.mu.Lock() // want `b\.mu\.Lock has no matching Unlock`
+	b.n++
+}
+
+func (b *box) readLeak() int {
+	b.rw.RLock() // want `b\.rw\.RLock has no matching RUnlock`
+	return b.n
+}
+
+func (b *box) readDeferred() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+func (b *box) suppressedLeak() {
+	//tdgraph:allow lockorder golden test for the suppression path
+	b.mu.Lock()
+	b.n++
+}

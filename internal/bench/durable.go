@@ -84,8 +84,11 @@ func tornTailScenario(seed int64) (FaultSuiteResult, error) {
 	}
 
 	segs, err := wal.OSFS{}.List(dir)
-	if err != nil || len(segs) == 0 {
-		return r, fmt.Errorf("%s: no segments on disk (%v)", r.Scenario, err)
+	if err != nil {
+		return r, fmt.Errorf("%s: listing segments: %w", r.Scenario, err)
+	}
+	if len(segs) == 0 {
+		return r, fmt.Errorf("%s: no segments on disk", r.Scenario)
 	}
 	last := filepath.Join(dir, segs[len(segs)-1])
 	data, err := os.ReadFile(last)

@@ -45,17 +45,17 @@ func LoadSNAP(r io.Reader) ([]Edge, int, error) {
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+			return nil, 0, fmt.Errorf("graph: line %d: bad src: %w", line, err)
 		}
 		dst, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
 		}
 		w := float32(1)
 		if len(fields) >= 3 {
 			f, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
-				return nil, 0, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+				return nil, 0, fmt.Errorf("graph: line %d: bad weight: %w", line, err)
 			}
 			w = float32(f)
 		}

@@ -322,7 +322,7 @@ func (p *Primary) catchUp(fc *followerConn, to uint64) error {
 		seq, payload, err := tl.Next()
 		if err != nil {
 			if errors.Is(err, wal.ErrCompacted) {
-				return fmt.Errorf("%w: needs seq %d: %v", ErrFollowerBehind, fc.acked+1, err)
+				return fmt.Errorf("%w: needs seq %d: %w", ErrFollowerBehind, fc.acked+1, err)
 			}
 			if errors.Is(err, wal.ErrCaughtUp) {
 				// The log ends before `to`: the caller asked for a record

@@ -196,7 +196,7 @@ func (s *Server) serveLoop(q *Queue) error {
 		// Durable failure: the state machine may be wedged (watchdog
 		// trip, panic during checkpointing). Restart from durable state.
 		if s.cfg.MaxRestarts >= 0 && restarts >= s.cfg.MaxRestarts {
-			return fmt.Errorf("%w (%d restarts): %v", ErrTooManyRestarts, restarts, ierr)
+			return fmt.Errorf("%w (%d restarts): %w", ErrTooManyRestarts, restarts, ierr)
 		}
 		restarts++
 		s.col.Inc(stats.CtrServeRestarts)

@@ -103,7 +103,7 @@ func New(name string, sizeBytes, ways int, policyName string) (*Cache, error) {
 	}
 	p, err := newPolicy(policyName)
 	if err != nil {
-		return nil, fmt.Errorf("cache %s: %v", name, err)
+		return nil, fmt.Errorf("cache %s: %w", name, err)
 	}
 	c := &Cache{
 		name:     name,

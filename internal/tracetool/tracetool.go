@@ -40,7 +40,7 @@ func ParseTrace(r io.Reader) ([]Access, error) {
 		}
 		core, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("tracetool: line %d: bad core: %v", lineNo, err)
+			return nil, fmt.Errorf("tracetool: line %d: bad core: %w", lineNo, err)
 		}
 		switch fields[1] {
 		case "R", "W", "PR", "PW":
@@ -49,7 +49,7 @@ func ParseTrace(r io.Reader) ([]Access, error) {
 		}
 		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("tracetool: line %d: bad address: %v", lineNo, err)
+			return nil, fmt.Errorf("tracetool: line %d: bad address: %w", lineNo, err)
 		}
 		out = append(out, Access{Core: core, Op: fields[1], Line: addr})
 	}

@@ -65,7 +65,7 @@ func Open(opt Options) (*Log, Recovery, error) {
 		case !last:
 			// Damage before the final segment cannot be a crash tail.
 			return nil, rec, &LogError{Segment: seg.name, Offset: res.validEnd,
-				Err: fmt.Errorf("%w: %v in a sealed segment", ErrCorrupt, res.cause)}
+				Err: fmt.Errorf("%w: %w in a sealed segment", ErrCorrupt, res.cause)}
 		case res.damage == damageHeader:
 			// The final segment never got a valid header: remove it.
 			if err := l.fs.Remove(l.path(seg.name)); err != nil {
@@ -132,7 +132,7 @@ func (l *Log) Replay(from uint64, fn func(seq uint64, batch []graph.Update) erro
 			// Open already repaired the tail; damage now means the files
 			// changed underneath us.
 			return &LogError{Segment: seg.name, Offset: res.validEnd,
-				Err: fmt.Errorf("%w: %v after recovery", ErrCorrupt, res.cause)}
+				Err: fmt.Errorf("%w: %w after recovery", ErrCorrupt, res.cause)}
 		}
 		if res.records > 0 {
 			prevLast = res.lastSeq

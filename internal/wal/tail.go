@@ -110,7 +110,7 @@ func (t *Tailer) Next() (uint64, []byte, error) {
 			// cleanly and hand over exactly at the next sequence.
 			if !clean {
 				return 0, nil, &LogError{Segment: t.segName, Offset: t.off,
-					Err: fmt.Errorf("%w: %v in a sealed segment", ErrCorrupt, err)}
+					Err: fmt.Errorf("%w: %w in a sealed segment", ErrCorrupt, err)}
 			}
 			if succ.base != t.atSeq {
 				return 0, nil, &LogError{Segment: succ.name,

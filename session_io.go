@@ -65,7 +65,7 @@ func (e *CheckpointError) Unwrap() error { return e.Err }
 // for short reads into the typed truncation sentinel.
 func ckptErr(stage string, err error) error {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-		err = fmt.Errorf("%w (%v)", ErrCheckpointTruncated, err)
+		err = fmt.Errorf("%w (%w)", ErrCheckpointTruncated, err)
 	}
 	return &CheckpointError{Stage: stage, Err: err}
 }
