@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-tdgraph test race faults chaos determinism fuzz-smoke check bench benchsim clean
+.PHONY: all build vet vet-tdgraph test race faults chaos determinism fuzz-smoke check bench benchsim bench-native clean
 
 all: check
 
@@ -19,7 +19,8 @@ vet:
 
 # Project-invariant analyzer suite (internal/analysis): mechanically
 # enforces the determinism contract (no wall-clock / global rand /
-# order-sensitive map iteration in sim/engine/core/accel/graph/algo),
+# order-sensitive map iteration in sim/engine/core/accel/graph/algo/
+# native),
 # the %w error-wrapping contract, defer-unlock discipline, the
 # fsync-before-ack ordering in wal/replica, and stats counter-table
 # registration. See DESIGN.md "Static-analysis ladder".
@@ -70,6 +71,11 @@ bench:
 # Harness self-timing: inline vs phase-merged backends -> BENCH_sim.json.
 benchsim:
 	$(GO) run ./cmd/tdgraph-bench -simjson BENCH_sim.json
+
+# Production apply path: incremental native session vs per-batch CSR
+# rebuild across batch sizes -> BENCH_native.json.
+bench-native:
+	$(GO) run ./cmd/tdgraph-bench -nativejson BENCH_native.json
 
 clean:
 	$(GO) clean ./...

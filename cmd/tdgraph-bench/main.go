@@ -15,6 +15,9 @@
 // simulated results are bit-identical for every N >= 1. -simjson measures
 // the harness itself — inline vs phase-merged wall-clock on the Fig 10
 // SSSP cell — and writes the comparison to the given JSON file.
+// -nativejson measures the wall-clock production apply path — the
+// incremental native session against per-batch CSR rebuild across batch
+// sizes — and writes BENCH_native.json.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostpar  = flag.Int("hostpar", 0, "machine execution backend: 0 = inline, N>=1 = phase-merged with N host replay workers")
 		simjson  = flag.String("simjson", "", "measure harness wall-clock (inline vs phase-merged) and write BENCH_sim.json to this path")
+		natjson  = flag.String("nativejson", "", "measure the native apply path (incremental session vs per-batch CSR rebuild) and write BENCH_native.json to this path")
 		faults   = flag.String("faults", "", "seeded fault-injection spec, e.g. 'corrupt,oob:0.1,badweight' (see the fault package; seeded by -seed)")
 		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine (clamp forced when -faults is set)")
 		timeout  = flag.Duration("timeout", 0, "per-cell watchdog deadline (0 = unbounded)")
@@ -89,6 +93,34 @@ func main() {
 		fmt.Printf("# wrote %s in %s (hostpar8 vs serial: %.2fx, vs inline: %.2fx, identical: %v)\n",
 			*simjson, time.Since(start).Round(time.Millisecond),
 			rep.SpeedupParallelVsSerial, rep.SpeedupVsInline, rep.Deterministic)
+		return
+	}
+	if *natjson != "" {
+		start := time.Now()
+		rep, err := bench.RunNativeReport(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: nativejson: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*natjson)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdgraph-bench: %v\n", err)
+			os.Exit(1)
+		}
+		last := rep.Runs[len(rep.Runs)-1]
+		fmt.Printf("# wrote %s in %s (batch=%d: %.0f ns/update incremental vs %.0f rebuild, %.0fx; zero-alloc: %v, identical: %v)\n",
+			*natjson, time.Since(start).Round(time.Millisecond),
+			last.BatchSize, last.IncNsPerUpdate, last.RebuildNsPerUpdate, last.Speedup,
+			rep.SteadyStateZeroAlloc, rep.Deterministic)
 		return
 	}
 	if *exp == "" {

@@ -11,6 +11,7 @@
 //	tdgraph-serve -wal /var/lib/tdgraph/wal -ckpt /var/lib/tdgraph/ckpt.tds \
 //	              -dataset LJ -scale 0.25 -algo sssp -batches 16
 //	tdgraph-serve -wal ./wal -walsync interval:8 -admit shed -queue 32
+//	tdgraph-serve -wal ./wal -engine native -algo sssp   # incremental native engine
 //
 // Replicated serving: start followers first, then the primary. Every
 // acknowledged batch is fsynced on a quorum before Ingest returns, so
@@ -54,6 +55,7 @@ func main() {
 		input    = flag.String("input", "", "SNAP edge-list file (overrides -dataset)")
 		scale    = flag.Float64("scale", 0.25, "preset scale factor")
 		algoName = flag.String("algo", "sssp", "algorithm: sssp|bfs|sswp|cc")
+		engName  = flag.String("engine", "sim", "processing engine: sim (functional topology-driven) | native (incremental parallel, production)")
 		batches  = flag.Int("batches", 8, "number of update batches to stream")
 		batchSz  = flag.Int("batch", 0, "updates per batch (0 = edges/20)")
 		addFrac  = flag.Float64("add", 0.75, "fraction of additions per batch")
@@ -157,6 +159,14 @@ func main() {
 	}
 
 	opts := tdgraph.SessionOptions{Validation: pol, MaxVertices: nv}
+	switch *engName {
+	case "sim", "":
+		opts.Engine = tdgraph.EngineTopologyDriven
+	case "native":
+		opts.Engine = tdgraph.EngineNativeParallel
+	default:
+		fatal(fmt.Errorf("unknown engine %q (sim|native)", *engName))
+	}
 	col := stats.NewCollector()
 	cfg := serve.ServerConfig{
 		Pipeline: serve.PipelineConfig{

@@ -17,6 +17,7 @@ var deterministicPkgs = []string{
 	"internal/accel",
 	"internal/graph",
 	"internal/algo",
+	"internal/native",
 }
 
 // DeterminismCheck flags nondeterminism sources inside the

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomUpdates produces a batch mixing inserts, deletes, reweights,
+// duplicates, and self-loops over a small ID space so collisions are
+// frequent.
+func randomUpdates(rng *rand.Rand, n, maxID int) []Update {
+	batch := make([]Update, n)
+	for i := range batch {
+		src := VertexID(rng.Intn(maxID))
+		dst := VertexID(rng.Intn(maxID))
+		if rng.Intn(20) == 0 {
+			dst = src // self-loop
+		}
+		w := float32(rng.Intn(8)) // small weight range → frequent dup weights
+		batch[i] = Update{
+			Edge:   Edge{Src: src, Dst: dst, Weight: w},
+			Delete: rng.Intn(3) == 0,
+		}
+	}
+	return batch
+}
+
+// sameSlice is DeepEqual that treats nil and empty as equal — the Builder
+// leaves untouched slices nil while the Store reuses zero-length buffers.
+func sameSlice(a, b any) bool {
+	av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+	if av.Len() == 0 && bv.Len() == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func sameApplyResult(t *testing.T, batch int, want, got ApplyResult) {
+	t.Helper()
+	if want.Added != got.Added || want.Deleted != got.Deleted ||
+		want.WeightChanged != got.WeightChanged || want.Skipped != got.Skipped {
+		t.Fatalf("batch %d: counts diverge: builder {add %d del %d chg %d skip %d}, store {add %d del %d chg %d skip %d}",
+			batch, want.Added, want.Deleted, want.WeightChanged, want.Skipped,
+			got.Added, got.Deleted, got.WeightChanged, got.Skipped)
+	}
+	if !sameSlice(want.Affected, got.Affected) {
+		t.Fatalf("batch %d: Affected diverges (order matters):\nbuilder %v\nstore   %v", batch, want.Affected, got.Affected)
+	}
+	if !sameSlice(want.AddedEdges, got.AddedEdges) {
+		t.Fatalf("batch %d: AddedEdges diverge:\nbuilder %v\nstore   %v", batch, want.AddedEdges, got.AddedEdges)
+	}
+	if !sameSlice(want.DeletedEdges, got.DeletedEdges) {
+		t.Fatalf("batch %d: DeletedEdges diverge:\nbuilder %v\nstore   %v", batch, want.DeletedEdges, got.DeletedEdges)
+	}
+}
+
+// TestStoreMatchesBuilder drives a Store and a Builder with identical
+// random update streams and checks every observable agrees after every
+// batch: ApplyResult (including Affected first-touch order), edge set,
+// degrees, and the sealed snapshot against the builder's.
+func TestStoreMatchesBuilder(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 4 + rng.Intn(40)
+		st := NewStore(nv)
+		b := NewBuilder(nv)
+		for batch := 0; batch < 30; batch++ {
+			ups := randomUpdates(rng, 1+rng.Intn(60), nv+4) // +4 forces growth
+			want := b.Apply(ups)
+			got := st.Apply(ups)
+			sameApplyResult(t, batch, want, got)
+			if b.NumVertices() != st.NumVertices() {
+				t.Fatalf("seed %d batch %d: vertex counts %d vs %d", seed, batch, b.NumVertices(), st.NumVertices())
+			}
+			if b.NumEdges() != st.NumEdges() {
+				t.Fatalf("seed %d batch %d: edge counts %d vs %d", seed, batch, b.NumEdges(), st.NumEdges())
+			}
+			bs := b.Snapshot()
+			ss := st.Seal()
+			if err := ss.Validate(); err != nil {
+				t.Fatalf("seed %d batch %d: sealed snapshot invalid: %v", seed, batch, err)
+			}
+			if !reflect.DeepEqual(bs.EdgeList(), ss.EdgeList()) {
+				t.Fatalf("seed %d batch %d: edge lists diverge", seed, batch)
+			}
+			if !reflect.DeepEqual(bs.EdgeList(), st.EdgeList()) {
+				t.Fatalf("seed %d batch %d: Store.EdgeList diverges from snapshot", seed, batch)
+			}
+			if !reflect.DeepEqual(bs.InOffsets, ss.InOffsets) ||
+				!reflect.DeepEqual(bs.InNeighbors, ss.InNeighbors) ||
+				!reflect.DeepEqual(bs.InWeights, ss.InWeights) {
+				t.Fatalf("seed %d batch %d: CSC mirrors diverge", seed, batch)
+			}
+		}
+	}
+}
+
+// TestStoreHighDegreeSpill forces a vertex far past the inline slab so the
+// open-addressing path (insert, reweight, delete with swap-remove and
+// tombstones, rehash) is exercised, then checks against the Builder.
+func TestStoreHighDegreeSpill(t *testing.T) {
+	const n = 512
+	st := NewStore(n)
+	b := NewBuilder(n)
+	hub := VertexID(0)
+	for i := 1; i < n; i++ {
+		st.AddEdge(hub, VertexID(i), float32(i))
+		b.AddEdge(hub, VertexID(i), float32(i))
+	}
+	if st.OutDegree(hub) != n-1 || st.OutDegree(hub) != b.OutDegree(hub) {
+		t.Fatalf("hub degree %d, want %d", st.OutDegree(hub), n-1)
+	}
+	// Reweight every other edge, delete every third.
+	for i := 1; i < n; i++ {
+		if i%2 == 0 {
+			st.AddEdge(hub, VertexID(i), float32(-i))
+			b.AddEdge(hub, VertexID(i), float32(-i))
+		}
+		if i%3 == 0 {
+			st.DeleteEdge(hub, VertexID(i))
+			b.DeleteEdge(hub, VertexID(i))
+		}
+	}
+	for i := 1; i < n; i++ {
+		sw, sok := st.EdgeWeight(hub, VertexID(i))
+		var bw float32
+		var bok bool
+		if bok = b.HasEdge(hub, VertexID(i)); bok {
+			bw, _ = b.Snapshot().EdgeWeight(hub, VertexID(i))
+		}
+		if sok != bok || (sok && sw != bw) {
+			t.Fatalf("edge 0→%d: store (%v,%v) builder (%v,%v)", i, sw, sok, bw, bok)
+		}
+	}
+	if !reflect.DeepEqual(st.Seal().EdgeList(), b.Snapshot().EdgeList()) {
+		t.Fatal("sealed edge list diverges after churn")
+	}
+	// Churn the same key range repeatedly: tombstone reuse must not grow
+	// the table without bound or corrupt lookups.
+	for round := 0; round < 50; round++ {
+		for i := 1; i < 64; i++ {
+			st.DeleteEdge(hub, VertexID(i))
+			st.AddEdge(hub, VertexID(i), float32(round))
+		}
+	}
+	for i := 1; i < 64; i++ {
+		if w, ok := st.EdgeWeight(hub, VertexID(i)); !ok || w != 49 {
+			t.Fatalf("after churn, edge 0→%d = (%v,%v), want (49,true)", i, w, ok)
+		}
+	}
+}
+
+// TestStoreFromSnapshotRoundTrip checks Snapshot → Store → Seal is the
+// identity on the canonical edge list.
+func TestStoreFromSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := NewBuilder(64)
+	for i := 0; i < 500; i++ {
+		b.AddEdge(VertexID(rng.Intn(64)), VertexID(rng.Intn(64)), float32(rng.Intn(100)))
+	}
+	snap := b.Snapshot()
+	st := NewStoreFromSnapshot(snap)
+	if st.NumEdges() != snap.NumEdges() {
+		t.Fatalf("edge count %d, want %d", st.NumEdges(), snap.NumEdges())
+	}
+	if !reflect.DeepEqual(st.Seal().EdgeList(), snap.EdgeList()) {
+		t.Fatal("round-trip edge list diverges")
+	}
+}
+
+// TestStoreApplyReusesBuffers documents the aliasing contract: the result
+// slices of one Apply are invalidated by the next.
+func TestStoreApplyReusesBuffers(t *testing.T) {
+	st := NewStore(4)
+	r1 := st.Apply([]Update{{Edge: Edge{Src: 0, Dst: 1, Weight: 1}}})
+	if len(r1.Affected) != 1 || r1.Affected[0] != 1 {
+		t.Fatalf("first apply affected %v", r1.Affected)
+	}
+	r2 := st.Apply([]Update{{Edge: Edge{Src: 2, Dst: 3, Weight: 1}}})
+	if len(r2.Affected) != 1 || r2.Affected[0] != 3 {
+		t.Fatalf("second apply affected %v", r2.Affected)
+	}
+	// r1.Affected now aliases the reused buffer; both headers point at the
+	// same backing array.
+	if &r1.Affected[0] != &r2.Affected[0] {
+		t.Fatal("expected Apply to reuse the affected buffer (zero-alloc contract)")
+	}
+}
+
+func BenchmarkStoreApplySingleEdge(b *testing.B) {
+	st := NewStore(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		st.AddEdge(VertexID(rng.Intn(1<<12)), VertexID(rng.Intn(1<<12)), 1)
+	}
+	batch := []Update{{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := VertexID(i) & (1<<12 - 1)
+		dst := VertexID(i*7) & (1<<12 - 1)
+		batch[0] = Update{Edge: Edge{Src: src, Dst: dst, Weight: float32(i&7) + 1}}
+		st.Apply(batch)
+	}
+}

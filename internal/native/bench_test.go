@@ -1,0 +1,90 @@
+package native
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/graph"
+)
+
+// buildSessionFixture returns a warmed session over an |E|-edge random
+// graph plus the two single-update batches used to toggle one edge.
+func buildSessionFixture(nv, ne, workers int) (*Session, []graph.Update, []graph.Update) {
+	rng := rand.New(rand.NewSource(42))
+	st := graph.NewStore(nv)
+	for i := 0; i < ne; i++ {
+		st.AddEdge(graph.VertexID(rng.Intn(nv)), graph.VertexID(rng.Intn(nv)), float32(1+rng.Intn(16)))
+	}
+	s := NewSession(algo.NewSSSP(0), st, Config{Workers: workers})
+	e := graph.Edge{Src: graph.VertexID(nv / 3), Dst: graph.VertexID(nv / 2), Weight: 3}
+	add := []graph.Update{{Edge: e}}
+	del := []graph.Update{{Edge: e, Delete: true}}
+	return s, add, del
+}
+
+// TestSessionSteadyStateZeroAllocs is the zero-allocs-per-update
+// guarantee: once buffers are warm, ApplyBatch must not allocate — the
+// store reuses its result buffers, the repair reuses its scratch, and
+// the worklists and worker pool are persistent.
+func TestSessionSteadyStateZeroAllocs(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		s, add, del := buildSessionFixture(1024, 8192, workers)
+		// Warm up: grow every reusable buffer to steady-state capacity.
+		for i := 0; i < 50; i++ {
+			s.ApplyBatch(del)
+			s.ApplyBatch(add)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			s.ApplyBatch(del)
+			s.ApplyBatch(add)
+		})
+		s.Close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: steady-state ApplyBatch allocates %.1f objects per toggle, want 0", workers, allocs)
+		}
+	}
+}
+
+// BenchmarkSessionApplySingleUpdate measures the incremental apply path:
+// one edge toggled per op on a warm session.
+func BenchmarkSessionApplySingleUpdate(b *testing.B) {
+	s, add, del := buildSessionFixture(4096, 1<<15, 1)
+	defer s.Close()
+	s.ApplyBatch(del)
+	s.ApplyBatch(add)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			s.ApplyBatch(del)
+		} else {
+			s.ApplyBatch(add)
+		}
+	}
+}
+
+// BenchmarkCSRRebuildSingleUpdate measures the path the session replaces:
+// apply the same single update to a Builder and materialise the full
+// CSR+CSC snapshot (the per-batch cost of the immutable representation).
+func BenchmarkCSRRebuildSingleUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const nv = 4096
+	bld := graph.NewBuilder(nv)
+	for i := 0; i < 1<<15; i++ {
+		bld.AddEdge(graph.VertexID(rng.Intn(nv)), graph.VertexID(rng.Intn(nv)), float32(1+rng.Intn(16)))
+	}
+	e := graph.Edge{Src: nv / 3, Dst: nv / 2, Weight: 3}
+	add := []graph.Update{{Edge: e}}
+	del := []graph.Update{{Edge: e, Delete: true}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			bld.Apply(del)
+		} else {
+			bld.Apply(add)
+		}
+		_ = bld.Snapshot()
+	}
+}

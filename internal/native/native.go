@@ -1,10 +1,11 @@
-// Package native provides real (wall-clock) parallel implementations of
-// the incremental monotonic engines for the paper's Fig 14 experiment —
-// the comparison of Ligra-o against the software-only topology-driven
-// approach on an actual machine rather than the simulator. These engines
-// use goroutines across GOMAXPROCS workers with lock-free CAS state
-// updates, and they double as the library's fast path for users who want
-// results, not architecture metrics.
+// Package native provides the real (wall-clock) parallel incremental
+// engines. The production apply path is the stateful Session: a mutable
+// graph.Store plus SoA state arrays, incremental monotonic repair, and
+// worklist propagation with work stealing and software-TDTU propagation
+// counters. LigraO and TopologyDriven remain as one-shot functions for
+// the paper's Fig 14 experiment — the comparison of Ligra-o against the
+// software-only topology-driven approach on an actual machine rather
+// than the simulator.
 package native
 
 import (
@@ -205,71 +206,29 @@ func LigraO(a algo.MonotonicAlgo, oldG, g *graph.Snapshot, warm []float64, res g
 	return s.snapshot()
 }
 
-// TopologyDriven runs the software-only topology-driven engine
-// (TDGraph-S-without: tracking + synchronised DFS, no state coalescing)
-// natively: chunks are processed by parallel workers, each running the
-// two-phase TDTU algorithm over its chunk, with cross-chunk activations
-// exchanged at round barriers.
+// TopologyDriven runs the software topology-driven engine natively for
+// one batch — now a thin wrapper over the stateful Session (worklists +
+// work stealing + software-TDTU propagation counters), kept for the
+// Fig-14 experiment's one-shot signature. Production callers should hold
+// a Session instead of paying the per-call store/forest construction.
 func TopologyDriven(a algo.MonotonicAlgo, oldG, g *graph.Snapshot, warm []float64, res graph.ApplyResult, cfg Config) []float64 {
-	s := newAtomicStates(warm)
-	for v := len(warm); v < g.NumVertices; v++ {
-		s.bits = append(s.bits, math.Float64bits(a.InitialValue(graph.VertexID(v))))
+	n := g.NumVertices
+	vals := make([]float64, n)
+	copy(vals, warm)
+	for v := len(warm); v < n; v++ {
+		vals[v] = a.InitialValue(graph.VertexID(v))
 	}
-	frontier := repair(a, oldG, g, s, warm, res)
-
-	workers := cfg.workers()
-	chunks := graph.PartitionByEdges(g, workers)
-	owner := make([]uint16, g.NumVertices)
-	for ci, ch := range chunks {
-		for v := ch.Start; v < ch.End; v++ {
-			owner[v] = uint16(ci)
-		}
+	parents := make([]int32, n)
+	for i := range parents {
+		parents[i] = -1
 	}
-	inboxes := make([][]graph.VertexID, workers)
-	for _, v := range frontier {
-		inboxes[owner[v]] = append(inboxes[owner[v]], v)
+	if oldG != nil {
+		_, p := algo.ReferenceWithParents(a, oldG)
+		copy(parents, p)
 	}
-	activations := make([][]graph.VertexID, workers)
-	workerState := make([]*tdWorker, workers)
-	for i := range workerState {
-		workerState[i] = newTDWorker(a, g, s, chunks[i])
-	}
-	for {
-		any := false
-		for _, in := range inboxes {
-			if len(in) > 0 {
-				any = true
-				break
-			}
-		}
-		if !any {
-			break
-		}
-		var wg sync.WaitGroup
-		for wi := 0; wi < workers; wi++ {
-			if len(inboxes[wi]) == 0 {
-				activations[wi] = nil
-				continue
-			}
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				activations[wi] = workerState[wi].round(inboxes[wi])
-			}(wi)
-		}
-		wg.Wait()
-		for i := range inboxes {
-			inboxes[i] = inboxes[i][:0]
-		}
-		seen := make(map[graph.VertexID]bool)
-		for wi := range activations {
-			for _, v := range activations[wi] {
-				if !seen[v] {
-					seen[v] = true
-					inboxes[owner[v]] = append(inboxes[owner[v]], v)
-				}
-			}
-		}
-	}
-	return s.snapshot()
+	s := newSessionWithParents(a, graph.NewStoreFromSnapshot(g), vals, parents, cfg)
+	defer s.Close()
+	s.repairAndSeed(res)
+	s.propagate()
+	return s.StatesCopy()
 }

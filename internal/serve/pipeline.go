@@ -371,6 +371,7 @@ func (p *Pipeline) Close() error {
 	if err := p.log.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	p.sess.Close() // park the native engine's worker pool, if any
 	p.syncWALStats()
 	return firstErr
 }

@@ -211,6 +211,7 @@ func (s *Server) serveLoop(q *Queue) error {
 // is suspect) and reopens it from the newest checkpoint + WAL replay.
 func (s *Server) restartPipeline() error {
 	_ = s.pipe.log.Close() // skip the final checkpoint: state is suspect
+	s.pipe.sess.Close()    // release the wedged session's worker pool
 	pipe, err := NewPipeline(s.cfg.Pipeline)
 	if err != nil {
 		return err

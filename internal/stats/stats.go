@@ -116,6 +116,9 @@ const (
 	CtrDenseIterations   = "algo.dense_iterations" // pull-direction rounds (Ligra direction optimisation)
 	CtrApproxTrims       = "algo.approx_trims"     // KickStarter-style trimmed dependencies
 
+	// Native incremental engine events (internal/native.Session).
+	CtrNativeTDTUSkips = "native.tdtu_skips" // dequeues skipped: version already propagated
+
 	// Memory-system events (filled by internal/sim).
 	CtrL1Hits        = "mem.l1_hits"
 	CtrL1Misses      = "mem.l1_misses"

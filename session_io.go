@@ -80,12 +80,13 @@ func ckptCorrupt(stage, detail string, args ...any) error {
 // interpreting a single payload byte.
 func (s *Session) Save(w io.Writer) error {
 	var gbuf bytes.Buffer
-	if err := s.snap.WriteBinary(&gbuf); err != nil {
+	if err := s.eng.snapshot().WriteBinary(&gbuf); err != nil {
 		return err
 	}
-	sbuf := make([]byte, 8+8*len(s.state))
-	binary.LittleEndian.PutUint64(sbuf[:8], uint64(len(s.state)))
-	for i, v := range s.state {
+	state := s.eng.states()
+	sbuf := make([]byte, 8+8*len(state))
+	binary.LittleEndian.PutUint64(sbuf[:8], uint64(len(state)))
+	for i, v := range state {
 		binary.LittleEndian.PutUint64(sbuf[8+8*i:], math.Float64bits(v))
 	}
 
@@ -249,8 +250,14 @@ func LoadSession(a Algorithm, r io.Reader, opt SessionOptions) (*Session, error)
 	if opt.Cores <= 0 {
 		opt.Cores = 8
 	}
-	b := graph.NewBuilderFromEdges(snap.NumVertices, snap.EdgeList())
-	s := &Session{opt: opt, a: a, b: b, snap: snap, state: state}
+	if opt.Engine == EngineNativeParallel && opt.Simulate {
+		return nil, fmt.Errorf("tdgraph: the native parallel engine cannot be simulated")
+	}
+	eng, err := newBackend(a, snap.NumVertices, snap.EdgeList(), state, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{opt: opt, a: a, eng: eng}
 	s.initRobustness()
 	return s, nil
 }
@@ -270,5 +277,5 @@ func LoadSessionFile(a Algorithm, path string, opt SessionOptions) (*Session, er
 // bridge for feeds that deliver periodic full snapshots instead of update
 // streams.
 func (s *Session) ApplySnapshot(next *Snapshot) (ApplyResult, error) {
-	return s.ApplyBatch(graph.Diff(s.snap, next))
+	return s.ApplyBatch(graph.Diff(s.eng.snapshot(), next))
 }

@@ -22,11 +22,8 @@ import (
 	"runtime/debug"
 
 	"github.com/tdgraph/tdgraph/internal/algo"
-	"github.com/tdgraph/tdgraph/internal/core"
 	"github.com/tdgraph/tdgraph/internal/engine"
 	"github.com/tdgraph/tdgraph/internal/graph"
-	"github.com/tdgraph/tdgraph/internal/native"
-	"github.com/tdgraph/tdgraph/internal/sim"
 	"github.com/tdgraph/tdgraph/internal/stats"
 	"github.com/tdgraph/tdgraph/internal/stream"
 )
@@ -79,10 +76,13 @@ const (
 	// EngineBaseline is the frontier-synchronous incremental engine
 	// (the Ligra-o discipline).
 	EngineBaseline
-	// EngineNativeParallel runs the real goroutine-parallel engines
-	// (lock-free CAS states) — the fastest wall-clock option. Monotonic
-	// algorithms use the topology-driven engine, accumulative ones the
-	// parallel delta engine.
+	// EngineNativeParallel runs the real goroutine-parallel engines —
+	// the fastest wall-clock option and the production serving path.
+	// The session holds a mutable hybrid graph store (O(degree)
+	// updates, no per-batch CSR rebuild) and, for monotonic algorithms,
+	// a stateful incremental engine with persistent worklists, work
+	// stealing, and software-TDTU propagation counters. Accumulative
+	// algorithms use the parallel delta engine over sealed views.
 	EngineNativeParallel
 )
 
@@ -134,19 +134,23 @@ type SessionOptions struct {
 }
 
 // Session maintains a streaming graph and its converged algorithm states
-// across batches.
+// across batches. The graph representation and repair discipline live
+// behind an engine backend selected by SessionOptions.Engine; the
+// validation, robustness, and checkpoint machinery above it is
+// backend-agnostic, so a checkpoint written under one engine restores
+// under another.
 type Session struct {
-	opt   SessionOptions
-	a     algo.Algorithm
-	b     *graph.Builder
-	snap  *graph.Snapshot
-	state []float64
+	opt SessionOptions
+	a   algo.Algorithm
+	eng engineBackend
 
 	validator *stream.Validator
 	rob       *stats.Collector
 
 	lastMetrics *stats.Collector
 	lastCycles  float64
+
+	closed bool
 }
 
 // initRobustness sets up the session's validator and robustness counters
@@ -156,7 +160,7 @@ func (s *Session) initRobustness() {
 	if s.opt.Validation != ValidationNone {
 		maxV := s.opt.MaxVertices
 		if maxV <= 0 {
-			maxV = s.b.NumVertices()
+			maxV = s.eng.numVertices()
 		}
 		s.validator = stream.NewValidator(s.opt.Validation, maxV, s.rob)
 	}
@@ -199,29 +203,61 @@ func NewSession(a Algorithm, edges []Edge, numVertices int, opt SessionOptions) 
 			}
 		}
 	}
+	eng, err := newBackend(a, numVertices, edges, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{opt: opt, a: a, eng: eng, validator: validator, rob: rob}, nil
+}
+
+// newBackend constructs the engine backend for opt. A nil warm converges
+// the initial fixpoint from scratch; non-nil states (a restored
+// checkpoint) are installed verbatim.
+func newBackend(a Algorithm, numVertices int, edges []Edge, warm []float64, opt SessionOptions) (engineBackend, error) {
+	if opt.Engine == EngineNativeParallel {
+		return newNativeBackend(a, graph.NewStoreFromEdges(numVertices, edges), warm, opt)
+	}
 	b := graph.NewBuilderFromEdges(numVertices, edges)
 	snap := b.Snapshot()
-	s := &Session{opt: opt, a: a, b: b, snap: snap, validator: validator, rob: rob}
-	s.state = algo.Reference(a, snap)
-	return s, nil
+	sb := &simBackend{opt: opt, a: a, b: b, snap: snap, state: warm}
+	if warm == nil {
+		sb.state = algo.Reference(a, snap)
+	} else if len(warm) != snap.NumVertices {
+		return nil, fmt.Errorf("tdgraph: %d states for %d vertices", len(warm), snap.NumVertices)
+	}
+	return sb, nil
+}
+
+// Close releases engine resources — the native engine's persistent
+// worker pool in particular. The session must not be used afterwards;
+// safe to call more than once. Sessions on the functional or simulated
+// engines hold no pooled resources, so Close is optional for them.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.eng.close()
 }
 
 // NumVertices returns the current vertex count (batches referencing new
 // vertex IDs grow it).
-func (s *Session) NumVertices() int { return s.b.NumVertices() }
+func (s *Session) NumVertices() int { return s.eng.numVertices() }
 
 // NumEdges returns the current edge count.
-func (s *Session) NumEdges() int { return s.b.NumEdges() }
+func (s *Session) NumEdges() int { return s.eng.numEdges() }
 
 // State returns v's converged state (e.g. its distance, label, or rank).
-func (s *Session) State(v VertexID) float64 { return s.state[v] }
+func (s *Session) State(v VertexID) float64 { return s.eng.states()[v] }
 
 // States returns the full converged state vector. The slice aliases the
 // session and is invalidated by the next ApplyBatch.
-func (s *Session) States() []float64 { return s.state }
+func (s *Session) States() []float64 { return s.eng.states() }
 
-// Graph returns the current immutable snapshot.
-func (s *Session) Graph() *Snapshot { return s.snap }
+// Graph returns the current immutable snapshot. Under the native engine
+// this seals the mutable store on first call after a batch and caches
+// the view until the next mutation.
+func (s *Session) Graph() *Snapshot { return s.eng.snapshot() }
 
 // Metrics returns the metric collector of the last ApplyBatch (nil before
 // the first batch). Simulated sessions additionally expose cycle counts
@@ -285,73 +321,32 @@ func (s *Session) applyBatchProtected(batch []Update) (res ApplyResult, err erro
 		}
 	}()
 
-	oldG := s.snap
-	res = s.b.Apply(batch)
-	newG := s.b.Snapshot()
-
-	if s.opt.Engine == EngineNativeParallel {
-		cfg := native.Config{Workers: s.opt.Cores}
-		switch alg := s.a.(type) {
-		case algo.MonotonicAlgo:
-			s.state = native.TopologyDriven(alg, oldG, newG, s.state, res, cfg)
-		case algo.AccumulativeAlgo:
-			s.state = native.Accumulative(alg, oldG, newG, s.state, res, cfg)
-		}
-		s.snap = newG
-		return res, nil
+	var col *stats.Collector
+	var cycles float64
+	res, col, cycles = s.eng.apply(batch)
+	if col != nil {
+		s.lastMetrics = col
 	}
-
-	col := stats.NewCollector()
-	var m *sim.Machine
-	ropt := engine.Options{Cores: s.opt.Cores, Collector: col}
 	if s.opt.Simulate {
-		cfg := sim.ScaledConfig()
-		if s.opt.Cores <= cfg.Cores {
-			cfg.Cores = s.opt.Cores
-		}
-		m = sim.New(cfg)
-		ropt.Machine = m
-		ropt.Layout = engine.LayoutOptions{TDGraph: s.opt.Engine == EngineTopologyDriven, Alpha: 0.005}
-	}
-	rt := engine.NewRuntime(s.a, oldG, newG, s.state, ropt)
-	var sys engine.System
-	switch s.opt.Engine {
-	case EngineBaseline:
-		sys = engine.NewBaseline(engine.LigraO(), rt)
-	default:
-		sys = core.New(core.DefaultConfig(), rt)
-	}
-	sys.Process(res)
-	s.state = rt.S
-	s.snap = newG
-	s.lastMetrics = col
-	if m != nil {
-		s.lastCycles = m.Time()
+		s.lastCycles = cycles
 	}
 	return res, nil
 }
 
 // healAfterPanic restores the session to a consistent shape after a
-// recovered panic: the builder still holds a consistent graph (its
-// mutations are per-update, not partial), so the snapshot is resynced and
-// the states recomputed from scratch. The recompute runs the algorithm's
-// own code — the very code that may have panicked — so it is protected
-// too: if it panics again the states are merely padded to the snapshot's
-// shape, keeping the session usable for inspection and checkpointing.
+// recovered panic: the backend's graph is still consistent (store and
+// builder mutations are per-update, not partial), so the states are
+// recomputed from scratch on it. The recompute runs the algorithm's own
+// code — the very code that may have panicked — so it is protected too:
+// if it panics again the states are merely padded to the graph's shape,
+// keeping the session usable for inspection and checkpointing.
 func (s *Session) healAfterPanic() {
-	s.snap = s.b.Snapshot()
 	defer func() {
 		if recover() != nil {
-			n := s.snap.NumVertices
-			if len(s.state) > n {
-				s.state = s.state[:n]
-			}
-			for len(s.state) < n {
-				s.state = append(s.state, 0)
-			}
+			s.eng.padStates()
 		}
 	}()
-	s.state = algo.Reference(s.a, s.snap)
+	s.eng.recompute()
 	s.rob.Inc(stats.CtrDegradedRecomputes)
 }
 
@@ -359,7 +354,7 @@ func (s *Session) healAfterPanic() {
 // without repairing anything. It returns the first divergent vertex and
 // false on divergence, or (0, true) when the states are consistent.
 func (s *Session) Audit() (VertexID, bool) {
-	v, ok := engine.AuditStates(s.a, s.snap, s.state)
+	v, ok := engine.AuditStates(s.a, s.eng.snapshot(), s.eng.states())
 	if !ok {
 		s.rob.Inc(stats.CtrAuditDivergence)
 	}
@@ -393,10 +388,10 @@ func (s *Session) Quarantined() map[VertexID]struct{} {
 	return s.validator.Quarantined()
 }
 
-// Recompute converges the algorithm from scratch on the current snapshot
+// Recompute converges the algorithm from scratch on the current graph
 // and replaces the session states — useful to bound accumulated
 // floating-point drift on very long accumulative streams, and in tests
 // as the oracle.
 func (s *Session) Recompute() {
-	s.state = algo.Reference(s.a, s.snap)
+	s.eng.recompute()
 }
