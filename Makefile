@@ -37,16 +37,19 @@ race:
 # ingestion/checkpoint/session tests, and the full "robust" experiment
 # (all five acceptance classes, double-run determinism included).
 faults:
-	$(GO) test -count=1 -run 'Fault|Robust|Checkpoint|Session|Sanitize|Validat|Watchdog|Mutate|Corrupt|Hang|WAL|Serve|Backoff|Breaker|Queue|Retry|Pipeline|Conn|Frame|Tailer|Replicated|Quorum|Follower|Fenced' . ./internal/fault ./internal/stream ./internal/bench ./internal/sim ./internal/wal ./internal/serve ./internal/replica
+	$(GO) test -count=1 -run 'Fault|Robust|Checkpoint|Session|Sanitize|Validat|Watchdog|Mutate|Corrupt|Hang|WAL|Serve|Backoff|Breaker|Queue|Retry|Pipeline|Conn|Frame|Tailer|Replicated|Quorum|Follower|Fenced|Reseed|Snap|Retain' . ./internal/fault ./internal/stream ./internal/bench ./internal/sim ./internal/wal ./internal/serve ./internal/replica
 
 # Chaos suite: seeded kill-anywhere crash/recovery trials over the
-# durable ingestion pipeline, plus kill-the-primary replication
-# failover trials, under the race detector. Proves no acknowledged
-# batch is lost past the last fsync (or quorum) barrier and that the
-# recovered or promoted node's vertex states are byte-identical to an
+# durable ingestion pipeline, kill-the-primary replication failover
+# trials, and the self-healing reseed trials (primary killed
+# mid-snapshot-transfer, follower crashed mid-install,
+# replication-aware retention deleting shipped history under live
+# followers), under the race detector. Proves no acknowledged batch is
+# lost past the last fsync (or quorum) barrier and that the recovered,
+# promoted, or reseeded node's vertex states are byte-identical to an
 # uninterrupted run, with deposed primaries fenced.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Failover|Fenced' ./internal/serve ./internal/replica
+	$(GO) test -race -count=1 -run 'Chaos|Failover|Fenced|Reseed' ./internal/serve ./internal/replica
 
 # Determinism tests under the race detector: fixed seeds must give
 # bit-identical results on both machine backends, any worker count.
@@ -55,12 +58,14 @@ determinism:
 
 # Short native-fuzz smoke over the binary decoders (one -fuzz target
 # per invocation is a `go test` restriction): checkpoint loader, SNAP
-# loader, WAL record/segment decoder, replication frame codec.
+# loader, WAL record/segment decoder, replication frame codec, and the
+# snapshot-transfer offer/chunk framing.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSessionLoad$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadSNAP$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzReplicaFrame$$' -fuzztime 10s ./internal/replica
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapFrame$$' -fuzztime 10s ./internal/replica
 
 check: build vet vet-tdgraph race faults chaos
 

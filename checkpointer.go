@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/tdgraph/tdgraph/internal/stats"
 )
@@ -164,6 +165,67 @@ func (c *Checkpointer) Metas() [][]byte {
 		}
 	}
 	return out
+}
+
+// NewestWithMeta returns the newest generation whose metadata sidecar
+// validates, as raw bytes ready to ship to another replica: the
+// checkpoint file's contents and the sidecar payload. The checkpoint
+// bytes are not decoded here — the receiver runs the full TDS2 load
+// before installing, and a whole-file checksum travels with the
+// transfer — but the sidecar must pass its CRC so the shipped pair is
+// self-consistent.
+func (c *Checkpointer) NewestWithMeta() (data, meta []byte, err error) {
+	var firstErr error
+	for i := 0; i < c.keep(); i++ {
+		m, merr := readMetaFile(c.metaPath(i))
+		if merr != nil {
+			if firstErr == nil {
+				firstErr = merr
+			}
+			continue
+		}
+		d, derr := os.ReadFile(c.genPath(i))
+		if derr != nil {
+			if firstErr == nil {
+				firstErr = &CheckpointError{Stage: "read", Err: derr}
+			}
+			continue
+		}
+		return d, m, nil
+	}
+	if firstErr == nil {
+		firstErr = &CheckpointError{Stage: "meta", Err: os.ErrNotExist}
+	}
+	return nil, nil, fmt.Errorf("tdgraph: no shippable checkpoint generation under %s: %w", c.Path, firstErr)
+}
+
+// Install atomically adopts the already-written (and fsynced) file at
+// tmpPath as the newest checkpoint generation, with meta as its
+// sidecar payload — the receiving half of a snapshot transfer. Every
+// existing sidecar is removed first so no stale metadata can pair
+// with the incoming bytes, then the file is renamed into place and
+// the new sidecar written, each step durable before the next. A crash
+// at any point leaves either the old generations intact (rename not
+// reached), a sidecar-less generation that LoadWithMeta skips
+// (sidecar not reached), or the complete new pair — never a
+// half-installed snapshot recovery would trust.
+func (c *Checkpointer) Install(tmpPath string, meta []byte) error {
+	dir := filepath.Dir(c.Path)
+	for i := 0; i < c.keep(); i++ {
+		if err := os.Remove(c.metaPath(i)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("tdgraph: clearing checkpoint sidecar %s: %w", c.metaPath(i), err)
+		}
+	}
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("tdgraph: syncing checkpoint directory %s: %w", dir, err)
+	}
+	if err := os.Rename(tmpPath, c.Path); err != nil {
+		return fmt.Errorf("tdgraph: installing checkpoint %s: %w", c.Path, err)
+	}
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("tdgraph: syncing checkpoint directory %s: %w", dir, err)
+	}
+	return writeMetaFile(c.metaPath(0), meta)
 }
 
 // Metadata sidecar format: magic u32 | payloadLen u32 | crc32 u32 |

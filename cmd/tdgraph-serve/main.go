@@ -34,6 +34,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -202,6 +203,14 @@ func main() {
 	defer stop()
 
 	if *role == "follower" {
+		if cfg.Pipeline.CheckpointPath == "" {
+			// Auto-reseed installs the shipped checkpoint file; without a
+			// checkpoint path there is nowhere durable to put it and the
+			// follower would refuse snapshot offers.
+			cfg.Pipeline.CheckpointPath = filepath.Join(*walDir, "ckpt.tds")
+			fmt.Printf("follower: -ckpt not set; defaulting to %s so auto-reseed can install snapshots\n",
+				cfg.Pipeline.CheckpointPath)
+		}
 		runFollower(ctx, cfg.Pipeline, *listen, *verbose)
 		return
 	}
@@ -248,6 +257,13 @@ func main() {
 			Quorum:      *quorum,
 			WAL:         cfg.Pipeline.WAL,
 			Collector:   col,
+		}
+		if *ckptPath != "" {
+			// With checkpoints, a diverged or behind-retention follower is
+			// reseeded from the newest generation instead of refused, and
+			// WAL retention advances past shipped checkpoints (bounded by
+			// the slowest live follower's ack).
+			pcfg.Snapshots = serve.NewSnapshotSource(*ckptPath, *ckptKeep)
 		}
 		if *verbose {
 			pcfg.OnEvent = func(line string) { fmt.Println("repl:", line) }
@@ -313,6 +329,10 @@ func printReplStats(col *stats.Collector, term uint64) {
 		col.Get(stats.CtrReplLag), col.Get(stats.CtrReplFollowerDrops),
 		col.Get(stats.CtrReplQuorumFailures), col.Get(stats.CtrReplFenceRejects),
 		col.Get(stats.CtrReplDivergedRejects), col.Get(stats.CtrReplFailovers))
+	fmt.Printf("  reseed: offers=%d chunks=%d resumes=%d installs=%d aborts=%d\n",
+		col.Get(stats.CtrReplReseedOffers), col.Get(stats.CtrReplReseedChunks),
+		col.Get(stats.CtrReplReseedResumes), col.Get(stats.CtrReplReseedInstalls),
+		col.Get(stats.CtrReplReseedAborts))
 }
 
 // runFollower serves replication sessions until the context is

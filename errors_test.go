@@ -161,6 +161,43 @@ func TestErrorWrappingContracts(t *testing.T) {
 			err:  fmt.Errorf("replicator: %w", fmt.Errorf("%w: want seq 2, oldest is 9", wal.ErrCompacted)),
 			is:   []error{wal.ErrCompacted},
 		},
+		{
+			// The shape AddFollower produces when a diverged follower's
+			// reseed then fails: the supervisor must see both why the
+			// reseed started (divergence) and how it ended (abort with the
+			// transport cause), through one chain.
+			name: "reseed abort keeps divergence visible",
+			err: fmt.Errorf("%w; reseed failed: %w",
+				fmt.Errorf("%w: follower at seq 10, our log ends at 5", replica.ErrFollowerDiverged),
+				fmt.Errorf("%w: shipping chunk at 128: %w", replica.ErrReseedAborted, cause)),
+			is: []error{replica.ErrFollowerDiverged, replica.ErrReseedAborted, cause},
+			as: func(err error) bool {
+				// An aborted transfer is retryable as-is; it must stay
+				// distinct from fencing (shut down) and from a corrupt
+				// snapshot (discard the partial, never resume it).
+				return !errors.Is(err, serve.ErrFenced) &&
+					!errors.Is(err, replica.ErrSnapshotCorrupt)
+			},
+		},
+		{
+			name: "corrupt snapshot is not a resumable abort",
+			err: fmt.Errorf("install: %w",
+				fmt.Errorf("%w: checksum 0xdead, offer said 0xbeef", replica.ErrSnapshotCorrupt)),
+			is: []error{replica.ErrSnapshotCorrupt},
+			as: func(err error) bool {
+				// Resuming a poisoned partial would re-install poison: the
+				// corrupt path discards and restarts, so the sentinel must
+				// never read as the resumable abort.
+				return !errors.Is(err, replica.ErrReseedAborted)
+			},
+		},
+		{
+			name: "behind-retention reseed failure keeps all causes",
+			err: fmt.Errorf("%w; reseed failed: %w",
+				fmt.Errorf("catch-up: %w: needs seq 3: %w", replica.ErrFollowerBehind, wal.ErrCompacted),
+				fmt.Errorf("%w: follower rejected the offer", replica.ErrReseedAborted)),
+			is: []error{replica.ErrFollowerBehind, wal.ErrCompacted, replica.ErrReseedAborted},
+		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, sentinel := range tc.is {

@@ -1,0 +1,443 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+
+	"github.com/tdgraph/tdgraph/internal/replica"
+	"github.com/tdgraph/tdgraph/internal/serve"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/stream"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// This file is the self-healing replication suite (experiment
+// "reseed"): one scenario per leg of the snapshot-transfer loop — a
+// diverged replica reseeded instead of refused, a late joiner served
+// past compacted history, and a severed transfer resumed from its
+// fsynced partial — each deterministic from the seed.
+
+// reseedNode is replNode with the reseed posture: rotating checkpoint
+// generations (the snapshot source) and small segments so retention
+// has segments to delete mid-suite.
+func reseedNode(w *stream.Workload, dir string) serve.PipelineConfig {
+	cfg := replNode(w, dir)
+	cfg.WAL.SegmentBytes = 1024
+	cfg.CheckpointEvery = 2
+	return cfg
+}
+
+// soloLife runs the whole workload through a pipeline rooted at dir —
+// a replica's past life that any shorter-logged primary diverges from.
+func soloLife(w *stream.Workload, dir string) error {
+	pipe, err := serve.NewPipeline(reseedNode(w, dir))
+	if err != nil {
+		return err
+	}
+	for _, b := range w.Batches {
+		if err := pipe.Ingest(b); err != nil {
+			pipe.Close()
+			return err
+		}
+	}
+	return pipe.Close()
+}
+
+// reseedBudgetConn severs the primary->follower direction after budget
+// bytes, simulating a primary killed mid-snapshot-transfer.
+type reseedBudgetConn struct {
+	net.Conn
+	budget int
+}
+
+func (c *reseedBudgetConn) Write(p []byte) (int, error) {
+	if c.budget < len(p) {
+		c.Conn.Close()
+		return 0, errors.New("reseed bench: wire severed mid-frame")
+	}
+	c.budget -= len(p)
+	return c.Conn.Write(p)
+}
+
+// divergedReseedScenario: a replica that lived a six-batch life meets
+// a primary whose log ends at three. Without a snapshot source this is
+// a hard refusal (ErrFollowerDiverged); with one, the handshake ships
+// the newest checkpoint, resets the replica's history to it, and
+// serves the rest — ending byte-identical to the reference.
+func divergedReseedScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "reseed/diverged"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-reseed-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	fdir, err := replDir(root, "f")
+	if err != nil {
+		return r, err
+	}
+	if err := soloLife(w, fdir); err != nil {
+		return r, err
+	}
+	fl, err := replica.NewFollower(replica.FollowerConfig{Pipeline: reseedNode(w, fdir)})
+	if err != nil {
+		return r, err
+	}
+
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := reseedNode(w, pdir)
+	pcfg.Collector = col
+	if _, err := replica.ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
+		return r, err
+	}
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches[:3] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	snapSeq, _, _, err := pipe.SnapshotSource().NewestSnapshot()
+	if err != nil {
+		return r, err
+	}
+	prim := replica.NewPrimary(replica.PrimaryConfig{
+		Term: 1, ClusterSize: 2, WAL: pcfg.WAL, Collector: col,
+		Snapshots: pipe.SnapshotSource(),
+	})
+	pside, fside := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- fl.Serve(fside) }()
+	if err := prim.AddFollower(pside); err != nil {
+		return r, fmt.Errorf("%s: diverged replica was refused despite a snapshot source: %w", r.Scenario, err)
+	}
+	pipe.SetReplicator(prim)
+	for _, b := range w.Batches[3:] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return r, err
+	}
+	prim.Close()
+	if err := <-done; err != nil {
+		return r, fmt.Errorf("%s: follower session: %w", r.Scenario, err)
+	}
+	if !replStatesIdentical(fl.Pipeline().Session().States(), want) ||
+		!replStatesIdentical(pipe.Session().States(), want) {
+		return r, fmt.Errorf("%s: states diverged from reference after reseed", r.Scenario)
+	}
+	installs := fl.Pipeline().Collector().Get(stats.CtrReplReseedInstalls)
+	fl.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("diverged at seq %d vs log end 3: reseeded from checkpoint seq %d (offers=%d installs=%d aborts=%d), byte-identical to reference",
+		len(w.Batches), snapSeq, col.Get(stats.CtrReplReseedOffers), installs, col.Get(stats.CtrReplReseedAborts))
+	return r, nil
+}
+
+// lateJoinCompactedScenario: with a live in-step follower attached,
+// replication-aware retention keeps deleting WAL segments past shipped
+// checkpoints; a late joiner that needs the deleted records is
+// reseeded from a checkpoint instead of refused, and everyone ends
+// byte-identical.
+func lateJoinCompactedScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "reseed/late-join-compacted"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-reseed-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	f1dir, err := replDir(root, "f1")
+	if err != nil {
+		return r, err
+	}
+	f1, err := replica.NewFollower(replica.FollowerConfig{Pipeline: reseedNode(w, f1dir)})
+	if err != nil {
+		return r, err
+	}
+	p1, f1side := net.Pipe()
+	d1 := make(chan error, 1)
+	go func() { d1 <- f1.Serve(f1side) }()
+
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := reseedNode(w, pdir)
+	pcfg.Collector = col
+	if _, err := replica.ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
+		return r, err
+	}
+	// The source reads straight from the rotating generation files, so
+	// it can exist before the pipeline that writes them.
+	prim := replica.NewPrimary(replica.PrimaryConfig{
+		Term: 1, ClusterSize: 2, WAL: pcfg.WAL, Collector: col,
+		Snapshots: serve.NewSnapshotSource(pcfg.CheckpointPath, 0),
+	})
+	if err := prim.AddFollower(p1); err != nil {
+		return r, err
+	}
+	pcfg.Replicator = prim
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches[:5] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	start, err := wal.StartSeq(pcfg.WAL)
+	if err != nil {
+		return r, err
+	}
+	if start <= 1 {
+		return r, fmt.Errorf("%s: retention never advanced under a live follower (StartSeq %d)", r.Scenario, start)
+	}
+
+	f2dir, err := replDir(root, "f2")
+	if err != nil {
+		return r, err
+	}
+	f2, err := replica.NewFollower(replica.FollowerConfig{Pipeline: reseedNode(w, f2dir)})
+	if err != nil {
+		return r, err
+	}
+	p2, f2side := net.Pipe()
+	d2 := make(chan error, 1)
+	go func() { d2 <- f2.Serve(f2side) }()
+	if err := prim.AddFollower(p2); err != nil {
+		return r, fmt.Errorf("%s: late joiner past retention was refused: %w", r.Scenario, err)
+	}
+	for _, b := range w.Batches[5:] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return r, err
+	}
+	prim.Close()
+	if err := <-d1; err != nil {
+		return r, fmt.Errorf("%s: follower 1 session: %w", r.Scenario, err)
+	}
+	if err := <-d2; err != nil {
+		return r, fmt.Errorf("%s: follower 2 session: %w", r.Scenario, err)
+	}
+	for name, got := range map[string][]float64{
+		"primary": pipe.Session().States(), "live follower": f1.Pipeline().Session().States(),
+		"late joiner": f2.Pipeline().Session().States(),
+	} {
+		if !replStatesIdentical(got, want) {
+			return r, fmt.Errorf("%s: %s states diverged from reference", r.Scenario, name)
+		}
+	}
+	installs := f2.Pipeline().Collector().Get(stats.CtrReplReseedInstalls)
+	f1.Pipeline().Close()
+	f2.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("log starts at seq %d, %d segments deleted past shipped checkpoints; late joiner reseeded (offers=%d installs=%d), 3 replicas byte-identical",
+		start, col.Get(stats.CtrWALRetained), col.Get(stats.CtrReplReseedOffers), installs)
+	return r, nil
+}
+
+// severedResumeScenario kills the wire mid-snapshot-transfer, restarts
+// the courtship under a fresh term (terms are single-use once a
+// follower adopts them), and demands the retry resume from the fsynced
+// partial instead of re-shipping from byte zero.
+func severedResumeScenario(seed int64) (FaultSuiteResult, error) {
+	r := FaultSuiteResult{Scenario: "reseed/severed-resume"}
+	w, err := durableWorkload(seed)
+	if err != nil {
+		return r, err
+	}
+	want, err := replReference(w)
+	if err != nil {
+		return r, err
+	}
+	root, err := os.MkdirTemp("", "tdgraph-reseed-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(root)
+
+	fdir, err := replDir(root, "f")
+	if err != nil {
+		return r, err
+	}
+	if err := soloLife(w, fdir); err != nil {
+		return r, err
+	}
+	fl, err := replica.NewFollower(replica.FollowerConfig{Pipeline: reseedNode(w, fdir)})
+	if err != nil {
+		return r, err
+	}
+
+	col := stats.NewCollector()
+	pdir, err := replDir(root, "p")
+	if err != nil {
+		return r, err
+	}
+	pcfg := reseedNode(w, pdir)
+	pcfg.Collector = col
+	if _, err := replica.ClaimTerm(wal.Options{Dir: pdir}, 1); err != nil {
+		return r, err
+	}
+	pipe, err := serve.NewPipeline(pcfg)
+	if err != nil {
+		return r, err
+	}
+	for _, b := range w.Batches[:3] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	mkPrim := func(term uint64) (*replica.Primary, error) {
+		if term > 1 {
+			if _, err := replica.ClaimTerm(wal.Options{Dir: pdir}, term); err != nil {
+				return nil, err
+			}
+		}
+		return replica.NewPrimary(replica.PrimaryConfig{
+			Term: term, ClusterSize: 2, WAL: pcfg.WAL, Collector: col,
+			Snapshots: pipe.SnapshotSource(), SnapChunkBytes: 256,
+		}), nil
+	}
+
+	// Session 1: the wire dies partway through the chunk stream — past
+	// the offer and at least one fsynced chunk, before completion.
+	prim, err := mkPrim(1)
+	if err != nil {
+		return r, err
+	}
+	pside, fside := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- fl.Serve(fside) }()
+	aerr := prim.AddFollower(&reseedBudgetConn{Conn: pside, budget: 800})
+	if !errors.Is(aerr, replica.ErrReseedAborted) {
+		//tdgraph:allow errwrap reporting a mismatched error; %w would make errors.Is match the sentinel this branch says is missing
+		return r, fmt.Errorf("%s: severed transfer: want ErrReseedAborted, got %v", r.Scenario, aerr)
+	}
+	if serr := <-done; !errors.Is(serr, replica.ErrReseedAborted) {
+		//tdgraph:allow errwrap reporting a mismatched error; %w would make errors.Is match the sentinel this branch says is missing
+		return r, fmt.Errorf("%s: severed follower session: want ErrReseedAborted, got %v", r.Scenario, serr)
+	}
+	prim.Close()
+	partial := int64(0)
+	if st, err := os.Stat(filepath.Join(fdir, "reseed.partial")); err == nil {
+		partial = st.Size()
+	}
+	if partial == 0 {
+		return r, fmt.Errorf("%s: no fsynced partial survived the severed transfer", r.Scenario)
+	}
+
+	// Session 2: fresh term, same snapshot — the offer matches the
+	// follower's durable resume mark, so shipping restarts at the
+	// partial's end, not byte zero.
+	prim, err = mkPrim(2)
+	if err != nil {
+		return r, err
+	}
+	pside, fside = net.Pipe()
+	go func() { done <- fl.Serve(fside) }()
+	if err := prim.AddFollower(pside); err != nil {
+		return r, fmt.Errorf("%s: resumed reseed failed: %w", r.Scenario, err)
+	}
+	pipe.SetReplicator(prim)
+	for _, b := range w.Batches[3:] {
+		if err := pipe.Ingest(b); err != nil {
+			return r, err
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return r, err
+	}
+	prim.Close()
+	if err := <-done; err != nil {
+		return r, fmt.Errorf("%s: resumed follower session: %w", r.Scenario, err)
+	}
+	if !replStatesIdentical(fl.Pipeline().Session().States(), want) {
+		return r, fmt.Errorf("%s: states diverged from reference after resumed reseed", r.Scenario)
+	}
+	if n := col.Get(stats.CtrReplReseedResumes); n != 1 {
+		return r, fmt.Errorf("%s: transfer did not resume from the partial (resumes=%d)", r.Scenario, n)
+	}
+	installs := fl.Pipeline().Collector().Get(stats.CtrReplReseedInstalls)
+	fl.Pipeline().Close()
+	r.Outcome = fmt.Sprintf("severed after %d fsynced bytes; retry resumed the partial (offers=%d resumes=%d aborts=%d installs=%d), byte-identical to reference",
+		partial, col.Get(stats.CtrReplReseedOffers), col.Get(stats.CtrReplReseedResumes),
+		col.Get(stats.CtrReplReseedAborts), installs)
+	return r, nil
+}
+
+// RunReseedSuite executes every self-healing scenario in suite order.
+func RunReseedSuite(o Options) ([]FaultSuiteResult, error) {
+	o = o.withDefaults()
+	var rows []FaultSuiteResult
+	add := func(r FaultSuiteResult, err error) error {
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+		return nil
+	}
+	if err := add(divergedReseedScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(lateJoinCompactedScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(severedResumeScenario(o.Seed)); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func expReseed(w io.Writer, o Options) error {
+	rows, err := RunReseedSuite(o)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Self-healing replication: reseed + compaction suite",
+		Header: []string{"scenario", "outcome"},
+		Comment: "diverged and behind-retention replicas are reseeded from checkpoints, severed\n" +
+			"transfers resume from the fsynced partial, and WAL retention advances past\n" +
+			"shipped checkpoints while every replica converges byte-identically",
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, r.Outcome)
+	}
+	return o.render(t, w)
+}
+
+func init() {
+	register("reseed", "Self-healing replication: reseed + compaction suite", expReseed)
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReseedSuiteCoversAllLegs: the suite must exercise every leg of
+// the self-healing loop — divergence reseed, late join past compacted
+// history, and severed-transfer resume.
+func TestReseedSuiteCoversAllLegs(t *testing.T) {
+	rows, err := RunReseedSuite(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"reseed/diverged", "reseed/late-join-compacted", "reseed/severed-resume"}
+	if len(rows) != len(want) {
+		t.Fatalf("suite ran %d scenarios, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.Scenario != want[i] {
+			t.Fatalf("scenario %d = %q, want %q", i, r.Scenario, want[i])
+		}
+		if !strings.Contains(r.Outcome, "byte-identical") {
+			t.Fatalf("%s outcome does not assert byte-identity: %q", r.Scenario, r.Outcome)
+		}
+	}
+}
+
+// TestReseedSuiteDeterministic: one seed, two runs, identical rendered
+// output — counters, partial sizes, retention positions and all.
+func TestReseedSuiteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	o := Options{Seed: 3}
+	if err := expReseed(&a, o); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := expReseed(&b, o); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two runs with one seed differ:\n%s\n--- vs ---\n%s", a.String(), b.String())
+	}
+}

@@ -157,10 +157,23 @@ func (f *Follower) Serve(conn net.Conn) error {
 		if fr.Type == FrameReject {
 			// The primary refused this replica's log at the handshake: it
 			// diverges (a resurrected unacknowledged tail, typically) and
-			// must be reseeded, not caught up.
+			// must be reseeded, not caught up. A primary with a snapshot
+			// source sends FrameSnapOffer instead of this refusal.
 			f.cfg.OnEvent(fmt.Sprintf("primary refused our log at its seq %d: reseed required", fr.Seq))
 			return fmt.Errorf("%w: refused by primary at term %d (its log ends at %d, ours at %d)",
 				ErrFollowerDiverged, fr.Term, fr.Seq, f.pipe.Seq())
+		}
+		if fr.Type == FrameSnapOffer {
+			// The primary decided this replica cannot be served from its
+			// log — diverged, or behind retention — and ships state
+			// instead of refusing. Accepting it *is* the automatic
+			// reseed: install atomically, reset the ledger to the shipped
+			// history, and keep the session going; the primary resumes
+			// ordinary records from the installed sequence.
+			if err := f.receiveSnapshot(conn, fr); err != nil {
+				return err
+			}
+			continue
 		}
 		if fr.Type != FrameRecord {
 			return &FrameError{Reason: "session",

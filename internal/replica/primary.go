@@ -60,6 +60,12 @@ type PrimaryConfig struct {
 	// AckTimeout bounds the wait for one follower acknowledgement
 	// (default 5s). A follower that misses it is dropped, not waited on.
 	AckTimeout time.Duration
+	// Snapshots, when set, enables reseeding: a follower that is behind
+	// retention or whose log diverges is shipped the newest checkpoint
+	// instead of being refused. Nil keeps PR 4's refuse-only behavior.
+	Snapshots SnapshotSource
+	// SnapChunkBytes bounds one snapshot chunk frame (default 256 KiB).
+	SnapChunkBytes int
 	// Collector receives the repl.* counters (nil = private).
 	Collector *stats.Collector
 	// OnEvent receives one line per notable event (nil discards).
@@ -72,6 +78,9 @@ func (c PrimaryConfig) withDefaults() PrimaryConfig {
 	}
 	if c.Quorum <= 0 {
 		c.Quorum = c.ClusterSize/2 + 1
+	}
+	if c.SnapChunkBytes <= 0 {
+		c.SnapChunkBytes = 256 << 10
 	}
 	if c.Collector == nil {
 		c.Collector = stats.NewCollector()
@@ -98,6 +107,13 @@ type Primary struct {
 	state       TermState
 	seq         uint64
 	stateLoaded bool
+
+	// pendingShip pins WAL retention (RetainFloor) at the covered
+	// sequence of a snapshot transfer that was offered but has not
+	// completed, so an interrupted follower can still resume and tail
+	// from there. Cleared when the install is acknowledged.
+	pendingShip    uint64
+	pendingShipSet bool
 }
 
 type followerConn struct {
@@ -147,11 +163,13 @@ func (p *Primary) Acked() []uint64 {
 // next Replicate. A follower that answers with a newer-or-equal term
 // fences this primary (ErrStaleTerm — terms are claimed strictly above
 // every probed peer, so an equal term means another primary claimed it
-// first); one whose position retention has discarded fails with
-// ErrFollowerBehind on that first catch-up; and one whose log
-// conflicts with ours — ahead of our log end, or tail-stamped by a
-// term our ledger contradicts — is refused with ErrFollowerDiverged
-// and told so, never attached, never counted toward quorum.
+// first). One whose log conflicts with ours — ahead of our log end, or
+// tail-stamped by a term our ledger contradicts — or whose position
+// retention has discarded is reseeded on the spot when a SnapshotSource
+// is configured: the newest checkpoint ships before the follower
+// attaches, and it joins catch-up from the installed sequence. Without
+// a source the old refusals stand: ErrFollowerDiverged at the
+// handshake, ErrFollowerBehind at the first catch-up.
 func (p *Primary) AddFollower(conn net.Conn) error {
 	if !p.stateLoaded {
 		st, err := LoadTermState(p.walFS(), p.cfg.WAL.Dir)
@@ -179,13 +197,23 @@ func (p *Primary) AddFollower(conn net.Conn) error {
 	}
 	switch f.Type {
 	case FrameWelcome:
-		if err := p.checkDivergence(f); err != nil {
+		if derr := p.checkDivergence(f); derr != nil {
 			p.col.Inc(stats.CtrReplDivergedRejects)
-			p.cfg.OnEvent(fmt.Sprintf("refused diverged replica at seq %d (stamp %d): %v", f.Seq, f.Orig, err))
-			p.writeFrame(fc, Frame{Type: FrameReject, Term: p.cfg.Term, Seq: p.seq})
-			return err
+			if p.cfg.Snapshots == nil {
+				p.cfg.OnEvent(fmt.Sprintf("refused diverged replica at seq %d (stamp %d): %v", f.Seq, f.Orig, derr))
+				p.writeFrame(fc, Frame{Type: FrameReject, Term: p.cfg.Term, Seq: p.seq})
+				return derr
+			}
+			p.cfg.OnEvent(fmt.Sprintf("reseeding diverged replica at seq %d (stamp %d): %v", f.Seq, f.Orig, derr))
+			if _, rerr := p.reseed(fc); rerr != nil {
+				return fmt.Errorf("%w; reseed failed: %w", derr, rerr)
+			}
+		} else {
+			fc.acked = f.Seq
+			if rerr := p.reseedIfCompacted(fc); rerr != nil {
+				return rerr
+			}
 		}
-		fc.acked = f.Seq
 	case FrameReject:
 		if f.Term >= p.cfg.Term {
 			return fmt.Errorf("%w: follower holds term %d, ours is %d", ErrStaleTerm, f.Term, p.cfg.Term)
@@ -217,6 +245,30 @@ func (p *Primary) checkDivergence(f Frame) error {
 			return fmt.Errorf("%w: follower's record %d originates at term %d, ours at term %d",
 				ErrFollowerDiverged, f.Seq, f.Orig, mine)
 		}
+	}
+	return nil
+}
+
+// reseedIfCompacted ships a snapshot at attach time to a follower
+// whose next needed record retention has already discarded — waiting
+// for the first catch-up to trip over wal.ErrCompacted would just
+// fail later. Without a snapshot source this is a no-op; the first
+// catch-up then reports ErrFollowerBehind as before.
+func (p *Primary) reseedIfCompacted(fc *followerConn) error {
+	if p.cfg.Snapshots == nil {
+		return nil
+	}
+	start, err := wal.StartSeq(p.cfg.WAL)
+	if err != nil {
+		return err
+	}
+	if start == 0 || fc.acked+1 >= start {
+		return nil
+	}
+	p.cfg.OnEvent(fmt.Sprintf("reseeding %s at seq %d: oldest retained record is seq %d", fc.name, fc.acked, start))
+	if _, rerr := p.reseed(fc); rerr != nil {
+		return fmt.Errorf("%w: needs seq %d, oldest retained is %d; reseed failed: %w",
+			ErrFollowerBehind, fc.acked+1, start, rerr)
 	}
 	return nil
 }
@@ -314,14 +366,26 @@ func (p *Primary) shipTo(fc *followerConn, seq uint64, payload []byte) error {
 
 // catchUp replays the primary's own WAL to the follower through
 // sequence to. The tailer reads the same segments the pipeline writes;
-// a follower wanting records retention has discarded cannot be served.
+// a follower wanting records retention has discarded is reseeded from
+// the newest checkpoint mid-stream (re-tailing from the installed
+// sequence) when a snapshot source exists, and cannot be served
+// otherwise.
 func (p *Primary) catchUp(fc *followerConn, to uint64) error {
 	tl := wal.NewTailer(p.cfg.WAL, fc.acked+1)
-	defer tl.Close()
+	defer func() { tl.Close() }()
 	for fc.acked < to {
 		seq, payload, err := tl.Next()
 		if err != nil {
 			if errors.Is(err, wal.ErrCompacted) {
+				if p.cfg.Snapshots != nil {
+					snapSeq, rerr := p.reseed(fc)
+					if rerr != nil {
+						return fmt.Errorf("%w: needs seq %d; reseed failed: %w", ErrFollowerBehind, fc.acked+1, rerr)
+					}
+					tl.Close()
+					tl = wal.NewTailer(p.cfg.WAL, snapSeq+1)
+					continue
+				}
 				return fmt.Errorf("%w: needs seq %d: %w", ErrFollowerBehind, fc.acked+1, err)
 			}
 			if errors.Is(err, wal.ErrCaughtUp) {

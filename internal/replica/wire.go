@@ -18,7 +18,8 @@ import (
 )
 
 // Frame types. The protocol is deliberately small: one handshake pair,
-// one data frame, one ack, one refusal.
+// one data frame, one ack, one refusal, a probe pair, and a
+// three-frame snapshot transfer for reseeding.
 const (
 	// FrameHello opens a session, primary → follower: Term is the
 	// primary's claim of authority, Seq is unused.
@@ -48,6 +49,24 @@ const (
 	// follower's durable term, Seq its last durable sequence, Orig the
 	// origin term of its newest record. Nothing is adopted.
 	FrameState = 7
+	// FrameSnapOffer opens a snapshot transfer, primary → follower: Seq
+	// is the WAL sequence the shipped checkpoint covers, the payload
+	// describes the snapshot (size, checksum, meta sidecar, term
+	// ledger). The follower answers with a FrameAck whose Seq is the
+	// byte offset it already holds — 0 for a fresh transfer, the resume
+	// point after a dropped connection — or a FrameReject if it cannot
+	// install snapshots.
+	FrameSnapOffer = 8
+	// FrameSnapChunk carries one run of checkpoint bytes, primary →
+	// follower: Seq is the chunk's byte offset into the snapshot file.
+	// The follower acks each chunk with the new cumulative offset, so
+	// the primary always knows the exact resume point.
+	FrameSnapChunk = 9
+	// FrameSnapDone ends the transfer, primary → follower: Seq repeats
+	// the snapshot's covered sequence. The follower verifies the whole
+	// file against the offered checksum, installs it atomically, and
+	// acks with the installed sequence — or rejects a corrupt file.
+	FrameSnapDone = 10
 )
 
 const (
@@ -133,7 +152,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	plen := binary.LittleEndian.Uint32(hdr[29:33])
 	wantCRC := binary.LittleEndian.Uint32(hdr[33:37])
-	if f.Type < FrameHello || f.Type > FrameState {
+	if f.Type < FrameHello || f.Type > FrameSnapDone {
 		return Frame{}, &FrameError{Reason: "bad type",
 			Err: fmt.Errorf("%w: type %d", ErrBadFrame, f.Type)}
 	}

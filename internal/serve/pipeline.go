@@ -40,6 +40,19 @@ type Replicator interface {
 	Close() error
 }
 
+// RetentionAdvisor lets the replication layer narrow WAL retention: a
+// Replicator that also implements it reports the highest sequence
+// retention may truncate through without orphaning replication —
+// below every live follower's acknowledged position and any snapshot
+// transfer still in flight. ok=false means replication imposes no
+// constraint (no live followers) and the local generation rule alone
+// decides, which is exactly the solo behavior. The advisor is reached
+// by a type assertion on the Replicator so serve still never imports
+// the transport.
+type RetentionAdvisor interface {
+	RetainFloor() (floor uint64, ok bool)
+}
+
 // PipelineConfig wires the durable core together.
 type PipelineConfig struct {
 	// Bootstrap builds the fresh session serving starts from when no
@@ -337,7 +350,14 @@ func (p *Pipeline) Checkpoint() error {
 	p.sinceCkpt = 0
 	p.col.Inc(stats.CtrServeCheckpoints)
 
-	// Retention: the oldest retained generation pins the replay tail.
+	// Retention: the oldest retained generation pins the replay tail,
+	// and replication (when present) pins it further — no live
+	// follower's catch-up, and no snapshot transfer in flight, may be
+	// truncated out from under it. A follower that nonetheless rejoins
+	// from below the floor is reseeded from a checkpoint, not served
+	// from the log, which is what lets retention advance past shipped
+	// checkpoints at all instead of pinning the log to the slowest
+	// replica forever.
 	oldest := p.seq
 	for _, m := range p.ck.Metas() {
 		if m == nil {
@@ -347,11 +367,62 @@ func (p *Pipeline) Checkpoint() error {
 			oldest = seq
 		}
 	}
+	if ra, ok := p.repl.(RetentionAdvisor); ok {
+		if floor, bound := ra.RetainFloor(); bound && floor < oldest {
+			oldest = floor
+		}
+	}
 	if err := p.log.TruncateThrough(oldest); err != nil {
 		return err
 	}
 	p.syncWALStats()
 	return nil
+}
+
+// CanInstallSnapshot reports whether this pipeline can adopt a shipped
+// snapshot: it needs a checkpoint path to install the file into, or
+// the installed state would not survive its next restart.
+func (p *Pipeline) CanInstallSnapshot() bool { return p.ck != nil }
+
+// InstallSnapshot replaces the pipeline's entire durable state with a
+// shipped checkpoint: the engine-portable TDS2 file at tmpPath plus
+// its metadata payload (the WAL sequence it covers). The order keeps
+// every crash point recoverable. The new session is loaded first —
+// validating the file end to end while the old state is still
+// authoritative, so a corrupt snapshot changes nothing. Then the WAL
+// is reset: its records either precede the snapshot (superseded) or
+// extend a history the primary refused, and wiping them *before* the
+// checkpoint becomes visible means no crash point can replay old
+// records on top of new state. Only after the checkpoint file and its
+// sidecar are durably installed is the in-memory session swapped; a
+// crash between reset and install recovers to an older (or bootstrap)
+// state that simply reseeds again.
+func (p *Pipeline) InstallSnapshot(tmpPath string, meta []byte) (uint64, error) {
+	if p.ck == nil {
+		return 0, fmt.Errorf("serve: snapshot install needs a checkpoint path")
+	}
+	seq, err := decodeSeqMeta(meta)
+	if err != nil {
+		return 0, err
+	}
+	sess, err := tdgraph.LoadSessionFile(p.cfg.Algorithm, tmpPath, p.cfg.SessionOptions)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.log.Reset(); err != nil {
+		sess.Close()
+		return 0, err
+	}
+	if err := p.ck.Install(tmpPath, meta); err != nil {
+		sess.Close()
+		return 0, err
+	}
+	p.sess.Close() // quiesce: park the replaced engine's worker pool
+	p.sess = sess
+	p.seq = seq
+	p.sinceCkpt = 0
+	p.syncWALStats()
+	return seq, nil
 }
 
 // Close drains the pipeline durably: final WAL barrier, final

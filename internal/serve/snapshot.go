@@ -1,0 +1,47 @@
+package serve
+
+import (
+	tdgraph "github.com/tdgraph/tdgraph"
+)
+
+// SnapshotSource reads the newest shippable checkpoint generation for
+// follower reseeds. It satisfies the replica layer's SnapshotSource
+// interface structurally (serve never imports the transport), and it
+// reads straight from the rotating generation files, so it works both
+// before the pipeline is open — the primary attaches followers first —
+// and while the pipeline keeps cutting new generations underneath it:
+// each NewestSnapshot call re-resolves the newest valid pair.
+type SnapshotSource struct {
+	ck *tdgraph.Checkpointer
+}
+
+// NewSnapshotSource returns a source over the rotating checkpoint
+// generations rooted at path (keep <= 0 means the default retention).
+func NewSnapshotSource(path string, keep int) *SnapshotSource {
+	return &SnapshotSource{ck: &tdgraph.Checkpointer{Path: path, Keep: keep}}
+}
+
+// SnapshotSource returns a source over this pipeline's own checkpoint
+// generations, or nil when checkpointing is disabled (callers must
+// check: a typed nil inside an interface would defeat their nil test).
+func (p *Pipeline) SnapshotSource() *SnapshotSource {
+	if p.ck == nil {
+		return nil
+	}
+	return &SnapshotSource{ck: p.ck}
+}
+
+// NewestSnapshot returns the newest checkpoint generation whose
+// metadata sidecar validates: the WAL sequence it covers, the sidecar
+// payload, and the checkpoint file's raw bytes.
+func (s *SnapshotSource) NewestSnapshot() (uint64, []byte, []byte, error) {
+	data, meta, err := s.ck.NewestWithMeta()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	seq, err := decodeSeqMeta(meta)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return seq, meta, data, nil
+}

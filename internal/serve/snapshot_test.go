@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tdgraph/tdgraph/internal/graph"
+	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/wal"
+)
+
+// TestInstallSnapshotSwapsState: installing a shipped checkpoint
+// replaces the pipeline's entire durable identity — engine states,
+// sequence, checkpoint generation, and a reset WAL — and the new
+// identity both extends live and survives a restart.
+func TestInstallSnapshotSwapsState(t *testing.T) {
+	w := testWorkload(t, 12)
+	want := referenceStates(t, w)
+
+	// Source: six batches in, newest generation covers seq 6.
+	src, err := NewPipeline(pipelineConfig(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches[:6] {
+		if err := src.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcStates := append([]float64(nil), src.Session().States()...)
+	seq, meta, data, err := src.SnapshotSource().NewestSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("newest snapshot covers seq %d, want 6", seq)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Target: a different two-batch life that is about to be replaced.
+	cfg := pipelineConfig(t, w)
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches[:2] {
+		if err := p.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmp := filepath.Join(t.TempDir(), "shipped.tds")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.InstallSnapshot(tmp, meta)
+	if err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if got != 6 || p.Seq() != 6 {
+		t.Fatalf("installed seq %d (pipeline at %d), want 6", got, p.Seq())
+	}
+	if !statesEqual(p.Session().States(), srcStates) {
+		t.Fatal("installed states differ from the shipped checkpoint's")
+	}
+	// The old WAL is gone: records 1..2 of the replaced life must not
+	// shadow the installed state on a future replay.
+	if start, err := wal.StartSeq(cfg.WAL); err != nil || start != 0 {
+		t.Fatalf("WAL not reset after install: start %d err %v", start, err)
+	}
+
+	// The installed identity extends: the live tail lands on reference.
+	for _, b := range w.Batches[6:] {
+		if err := p.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !statesEqual(p.Session().States(), want) {
+		t.Fatal("post-install ingestion diverged from reference")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And it survives a restart: checkpoint + WAL tail recover it.
+	p2, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatalf("reopen after install: %v", err)
+	}
+	defer p2.Close()
+	if p2.Seq() != 12 || !statesEqual(p2.Session().States(), want) {
+		t.Fatalf("restart recovered seq %d, want 12 with reference states", p2.Seq())
+	}
+}
+
+// TestInstallSnapshotRejectsBadInputs: every refused install leaves
+// the pipeline exactly as it was — same sequence, same states, still
+// ingesting.
+func TestInstallSnapshotRejectsBadInputs(t *testing.T) {
+	w := testWorkload(t, 4)
+
+	t.Run("no checkpoint path", func(t *testing.T) {
+		cfg := pipelineConfig(t, w)
+		cfg.CheckpointPath = ""
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		if p.CanInstallSnapshot() {
+			t.Fatal("pipeline without a checkpoint path claims it can install")
+		}
+		if _, err := p.InstallSnapshot("nowhere.tds", encodeSeqMeta(1)); err == nil {
+			t.Fatal("install without a checkpoint path succeeded")
+		}
+	})
+
+	// One source snapshot for the corrupt-input cases.
+	src, err := NewPipeline(pipelineConfig(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches[:3] {
+		if err := src.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, meta, data, err := src.SnapshotSource().NewestSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		meta []byte
+	}{
+		{"unparseable checkpoint bytes", []byte("junk, not a TDS2 checkpoint"), meta},
+		{"truncated metadata sidecar", data, meta[:5]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPipeline(pipelineConfig(t, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			for _, b := range w.Batches[:2] {
+				if err := p.Ingest(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := append([]float64(nil), p.Session().States()...)
+			tmp := filepath.Join(t.TempDir(), "bad.tds")
+			if err := os.WriteFile(tmp, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.InstallSnapshot(tmp, tc.meta); err == nil {
+				t.Fatal("corrupt install succeeded")
+			}
+			if p.Seq() != 2 || !statesEqual(p.Session().States(), before) {
+				t.Fatalf("refused install disturbed the pipeline (seq %d)", p.Seq())
+			}
+			if err := p.Ingest(w.Batches[2]); err != nil {
+				t.Fatalf("pipeline cannot ingest after a refused install: %v", err)
+			}
+		})
+	}
+}
+
+// stubAdvisor is a Replicator that also advises retention: the serve
+// layer must reach RetainFloor through the interface seam alone.
+type stubAdvisor struct {
+	floor uint64
+	ok    bool
+}
+
+func (s *stubAdvisor) Replicate(uint64, []graph.Update) error { return nil }
+func (s *stubAdvisor) Close() error                           { return nil }
+func (s *stubAdvisor) RetainFloor() (uint64, bool)            { return s.floor, s.ok }
+
+// TestRetainFloorBoundsRetention: a replication floor pins WAL
+// segments that local generation retention would otherwise delete, and
+// lifting the constraint releases them at the next checkpoint.
+func TestRetainFloorBoundsRetention(t *testing.T) {
+	w := testWorkload(t, 8)
+	adv := &stubAdvisor{floor: 0, ok: true}
+	cfg := pipelineConfig(t, w)
+	cfg.WAL.SegmentBytes = 512
+	cfg.CheckpointEvery = 2
+	cfg.Replicator = adv
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, b := range w.Batches {
+		if err := p.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoints advanced through seq 8, but the floor says nothing
+	// may be truncated: every segment must still be on disk.
+	if start, err := wal.StartSeq(cfg.WAL); err != nil || start != 1 {
+		t.Fatalf("floor=0 still let retention advance: start %d err %v", start, err)
+	}
+	if n := p.Collector().Get(stats.CtrWALRetained); n != 0 {
+		t.Fatalf("floor=0 but %d segments were removed", n)
+	}
+
+	// Constraint lifted (no live followers): the local generation rule
+	// alone governs again, and the next checkpoint frees the backlog.
+	adv.ok = false
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	start, err := wal.StartSeq(cfg.WAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start <= 1 {
+		t.Fatalf("retention did not advance after the floor lifted (start %d)", start)
+	}
+	if n := p.Collector().Get(stats.CtrWALRetained); n == 0 {
+		t.Fatal("no segments removed after the floor lifted")
+	}
+}

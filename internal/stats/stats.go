@@ -215,6 +215,11 @@ const (
 	CtrReplCatchupRecords  = "repl.catchup_records"  // records shipped from the WAL backlog
 	CtrReplDupFrames       = "repl.duplicate_frames" // duplicate records re-acked by followers
 	CtrReplDivergedRejects = "repl.diverged_rejects" // replicas refused for a conflicting log
+	CtrReplReseedOffers    = "repl.reseed_offers"    // snapshot transfers offered to followers
+	CtrReplReseedChunks    = "repl.reseed_chunks"    // snapshot chunks shipped/received
+	CtrReplReseedResumes   = "repl.reseed_resumes"   // transfers resumed from a partial offset
+	CtrReplReseedInstalls  = "repl.reseed_installs"  // snapshots installed by followers
+	CtrReplReseedAborts    = "repl.reseed_aborts"    // transfers that failed before install
 )
 
 // Series is an ordered list of labelled float values — one bar group or one

@@ -293,6 +293,30 @@ func EndSeq(opt Options) (uint64, error) {
 	}
 }
 
+// StartSeq returns the base sequence of the oldest retained segment
+// under opt — the earliest record a Tailer can still produce — or 0
+// when the directory holds no segments. A primary consults it at the
+// handshake: a follower whose next needed record predates it cannot
+// be caught up from the log and must be reseeded from a checkpoint.
+func StartSeq(opt Options) (uint64, error) {
+	opt = opt.withDefaults()
+	probe := Tailer{fs: opt.FS, dir: opt.Dir}
+	segs, err := probe.segments()
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	base := segs[0].base
+	for _, s := range segs {
+		if s.base < base {
+			base = s.base
+		}
+	}
+	return base, nil
+}
+
 // segments mirrors Log.segments for the tailer's standalone FS view.
 func (t *Tailer) segments() ([]segInfo, error) {
 	names, err := t.fs.List(t.dir)

@@ -256,3 +256,106 @@ func segNames(t *testing.T, dir string) []string {
 	}
 	return names
 }
+
+// drainTo pulls exactly the records [from, through], checking
+// contiguity — unlike drain it fails on ErrCaughtUp, so it proves the
+// records are actually there.
+func drainTo(t *testing.T, tl *Tailer, from, through uint64) {
+	t.Helper()
+	for want := from; want <= through; want++ {
+		seq, _, err := tl.Next()
+		if err != nil {
+			t.Fatalf("Next at seq %d: %v", want, err)
+		}
+		if seq != want {
+			t.Fatalf("Next returned seq %d, want %d", seq, want)
+		}
+	}
+}
+
+// TestTailerCompactedMidStream: retention advancing *under a live
+// tailer* — the replication-aware compaction case, where the primary
+// deletes shipped history while follower catch-up streams are parked
+// on it. A parked cursor whose records survive resumes exactly where
+// it was; one whose segment was deleted fails loudly with ErrCompacted
+// (the caller reseeds), never silently skipping records.
+func TestTailerCompactedMidStream(t *testing.T) {
+	// Each sub-test gets a fresh 12-record log over >=3 tiny segments.
+	build := func(t *testing.T) (string, *Log, []segInfo) {
+		t.Helper()
+		dir := t.TempDir()
+		l := tailLog(t, dir, 128)
+		t.Cleanup(func() { l.Close() })
+		for seq := uint64(1); seq <= 12; seq++ {
+			if err := l.Append(seq, tailBatch(seq)); err != nil {
+				t.Fatalf("Append %d: %v", seq, err)
+			}
+		}
+		segs, err := l.segments()
+		if err != nil || len(segs) < 3 {
+			t.Fatalf("need >=3 segments, got %d (err %v)", len(segs), err)
+		}
+		if segs[1].base <= 3 {
+			t.Fatalf("first segment too small for mid-segment parking (next base %d)", segs[1].base)
+		}
+		return dir, l, segs
+	}
+
+	t.Run("retention behind the cursor resumes", func(t *testing.T) {
+		dir, l, segs := build(t)
+		tl := NewTailer(Options{Dir: dir}, 1)
+		defer tl.Close()
+		// Park mid-way into the second segment, then delete the first.
+		mid := segs[1].base + 1
+		drainTo(t, tl, 1, mid)
+		tl.Close()
+		if err := l.TruncateThrough(segs[1].base - 1); err != nil {
+			t.Fatalf("TruncateThrough: %v", err)
+		}
+		// The log keeps growing while the tailer is parked.
+		for seq := uint64(13); seq <= 15; seq++ {
+			if err := l.Append(seq, tailBatch(seq)); err != nil {
+				t.Fatalf("Append %d: %v", seq, err)
+			}
+		}
+		drainTo(t, tl, mid+1, 15)
+		if _, _, err := tl.Next(); !errors.Is(err, ErrCaughtUp) {
+			t.Fatalf("after resume: want ErrCaughtUp, got %v", err)
+		}
+	})
+
+	t.Run("cursor at removed segment boundary resumes", func(t *testing.T) {
+		dir, l, segs := build(t)
+		tl := NewTailer(Options{Dir: dir}, 1)
+		defer tl.Close()
+		// Consume the first segment exactly, park, and delete it: the
+		// cursor sits on the next segment's base and must re-resolve.
+		drainTo(t, tl, 1, segs[1].base-1)
+		tl.Close()
+		if err := l.TruncateThrough(segs[1].base - 1); err != nil {
+			t.Fatalf("TruncateThrough: %v", err)
+		}
+		drainTo(t, tl, segs[1].base, 12)
+	})
+
+	t.Run("cursor inside removed segment fails loudly", func(t *testing.T) {
+		dir, l, segs := build(t)
+		tl := NewTailer(Options{Dir: dir}, 1)
+		defer tl.Close()
+		// Park partway into the first segment, then delete through the
+		// second: records the cursor still needed are gone.
+		drainTo(t, tl, 1, segs[1].base-2)
+		tl.Close()
+		if err := l.TruncateThrough(segs[2].base - 1); err != nil {
+			t.Fatalf("TruncateThrough: %v", err)
+		}
+		if _, _, err := tl.Next(); !errors.Is(err, ErrCompacted) {
+			t.Fatalf("want ErrCompacted, got %v", err)
+		}
+		// A fresh tailer from the oldest retained record still works: the
+		// log is healthy, only this cursor's history is gone.
+		tl2 := NewTailer(Options{Dir: dir}, segs[2].base)
+		defer tl2.Close()
+		drainTo(t, tl2, segs[2].base, 12)
+	})
+}

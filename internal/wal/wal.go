@@ -411,6 +411,38 @@ func (l *Log) TruncateThrough(seq uint64) error {
 	return nil
 }
 
+// Reset discards the log's entire history: every segment is removed
+// and the counters return to the empty-log state, so the next append
+// may start at any sequence (the empty-log rule). A follower
+// installing a shipped snapshot is the caller: records at or below
+// the snapshot's sequence are superseded by it, and records above it
+// belong to a history the cluster refused, so neither may ever be
+// replayed again. The sticky append-failure state is cleared along
+// with the bytes that caused it.
+func (l *Log) Reset() error {
+	l.closeCurrent()
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := l.fs.Remove(l.path(s.name)); err != nil {
+			return &LogError{Segment: s.name, Err: err}
+		}
+		l.stats.Removed++
+	}
+	if len(segs) > 0 {
+		if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+			return err
+		}
+	}
+	l.curName, l.curSize = "", 0
+	l.firstSeq, l.lastSeq, l.durable = 0, 0, 0
+	l.sinceSync = 0
+	l.failed = nil
+	return nil
+}
+
 // Close flushes and closes the log. The final fsync makes a clean
 // shutdown durable under every policy.
 func (l *Log) Close() error {
