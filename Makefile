@@ -41,15 +41,19 @@ faults:
 
 # Chaos suite: seeded kill-anywhere crash/recovery trials over the
 # durable ingestion pipeline, kill-the-primary replication failover
-# trials, and the self-healing reseed trials (primary killed
+# trials, the self-healing reseed trials (primary killed
 # mid-snapshot-transfer, follower crashed mid-install,
 # replication-aware retention deleting shipped history under live
-# followers), under the race detector. Proves no acknowledged batch is
-# lost past the last fsync (or quorum) barrier and that the recovered,
-# promoted, or reseeded node's vertex states are byte-identical to an
-# uninterrupted run, with deposed primaries fenced.
+# followers), and the self-driving cluster trials (leader killed with
+# no operator in the loop, asymmetric partitions, isolated leader
+# healing back in — plus the election state-machine unit tests), under
+# the race detector. Proves no acknowledged batch is lost past the
+# last fsync (or quorum) barrier, that the recovered, promoted, or
+# reseeded node's vertex states are byte-identical to an uninterrupted
+# run, that deposed primaries are fenced, and that every term has at
+# most one leader.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Failover|Fenced|Reseed' ./internal/serve ./internal/replica
+	$(GO) test -race -count=1 -run 'Chaos|Failover|Fenced|Reseed|Election|Node' ./internal/serve ./internal/replica
 
 # Determinism tests under the race detector: fixed seeds must give
 # bit-identical results on both machine backends, any worker count.

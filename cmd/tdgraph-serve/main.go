@@ -21,6 +21,18 @@
 //	tdgraph-serve -role follower -listen :7401 -wal ./f1-wal -dataset AZ -seed 1
 //	tdgraph-serve -role primary  -peers localhost:7401 -wal ./p-wal -dataset AZ -seed 1
 //
+// Self-driving cluster: start each member with -role auto and the
+// full peer ring; the members elect a leader among themselves, detect
+// its death by missed heartbeats, elect a successor, and rejoin (or
+// reseed) deposed members — no operator in the loop. Drive traffic
+// from outside with -role client, which follows redirect hints across
+// failovers:
+//
+//	tdgraph-serve -role auto -listen :7401 -peers localhost:7402,localhost:7403 -wal ./a-wal -dataset AZ -seed 1
+//	tdgraph-serve -role auto -listen :7402 -peers localhost:7401,localhost:7403 -wal ./b-wal -dataset AZ -seed 1
+//	tdgraph-serve -role auto -listen :7403 -peers localhost:7401,localhost:7402 -wal ./c-wal -dataset AZ -seed 1
+//	tdgraph-serve -role client -peers localhost:7401,localhost:7402,localhost:7403 -dataset AZ -seed 1
+//
 // SIGINT/SIGTERM begin a graceful drain: admission stops, queued
 // batches are made durable, the WAL is flushed and a final checkpoint
 // generation is cut.
@@ -78,18 +90,22 @@ func main() {
 		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine")
 		verbose  = flag.Bool("v", false, "log supervisor events (restarts, shedding, poisonings)")
 
-		role   = flag.String("role", "solo", "replication role: solo | primary | follower")
-		peers  = flag.String("peers", "", "primary: comma-separated follower addresses to dial")
-		listen = flag.String("listen", "", "follower: address to accept the primary's session on")
-		quorum = flag.Int("quorum", 0, "primary: required acks counting itself (0 = majority of cluster)")
+		role      = flag.String("role", "solo", "replication role: solo | primary | follower | auto | client")
+		peers     = flag.String("peers", "", "primary/auto: other members' addresses; client: cluster addresses to try")
+		listen    = flag.String("listen", "", "follower/auto: address to accept cluster connections on")
+		advertise = flag.String("advertise", "", "auto: address peers dial this node by (default -listen)")
+		quorum    = flag.Int("quorum", 0, "primary/auto: required acks counting itself (0 = majority of cluster)")
 	)
 	flag.Parse()
 
-	if *walDir == "" {
-		fatal(errors.New("-wal is required: the WAL directory is what makes the run durable"))
-	}
-	if err := os.MkdirAll(*walDir, 0o755); err != nil {
-		fatal(err)
+	if *role != "client" {
+		// A client holds no durable state of its own — the cluster does.
+		if *walDir == "" {
+			fatal(errors.New("-wal is required: the WAL directory is what makes the run durable"))
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal(err)
+		}
 	}
 
 	var edges []graph.Edge
@@ -201,6 +217,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *role == "client" {
+		runClient(ctx, *peers, *seed, w.Batches, *verbose)
+		return
+	}
+	if *role == "auto" {
+		if cfg.Pipeline.CheckpointPath == "" {
+			// Same default as -role follower: auto-reseed needs somewhere
+			// durable to install a shipped snapshot.
+			cfg.Pipeline.CheckpointPath = filepath.Join(*walDir, "ckpt.tds")
+			fmt.Printf("auto: -ckpt not set; defaulting to %s so auto-reseed can install snapshots\n",
+				cfg.Pipeline.CheckpointPath)
+		}
+		runAuto(ctx, cfg.Pipeline, *listen, *advertise, *peers, *quorum, *verbose)
+		return
+	}
 
 	if *role == "follower" {
 		if cfg.Pipeline.CheckpointPath == "" {
@@ -333,6 +365,111 @@ func printReplStats(col *stats.Collector, term uint64) {
 		col.Get(stats.CtrReplReseedOffers), col.Get(stats.CtrReplReseedChunks),
 		col.Get(stats.CtrReplReseedResumes), col.Get(stats.CtrReplReseedInstalls),
 		col.Get(stats.CtrReplReseedAborts))
+	fmt.Printf("  liveness: heartbeats-sent=%d heartbeats-missed=%d elections=%d demotions=%d redirects=%d\n",
+		col.Get(stats.CtrReplHeartbeatsSent), col.Get(stats.CtrReplHeartbeatsMissed),
+		col.Get(stats.CtrReplElections), col.Get(stats.CtrReplDemotions),
+		col.Get(stats.CtrReplRedirects))
+}
+
+// runAuto runs one self-driving cluster member: a replica.Node whose
+// role loop handles liveness, elections, demotion, and rejoin with no
+// operator in the loop. The node boots as a follower under a grace
+// lease; whichever member wins the first election serves client
+// ingestion, and everyone else replicates from it. Start every member
+// with the same -peers ring (minus itself) and point -role client at
+// any of them.
+func runAuto(ctx context.Context, pcfg serve.PipelineConfig, listen, advertise, peers string, quorum int, verbose bool) {
+	if listen == "" {
+		fatal(errors.New("-listen is required for -role auto"))
+	}
+	if advertise == "" {
+		advertise = listen
+	}
+	ncfg := replica.NodeConfig{
+		Addr:     advertise,
+		Peers:    splitAddrs(peers),
+		Dial:     dialTCP,
+		Pipeline: pcfg,
+		Quorum:   quorum,
+	}
+	if verbose {
+		ncfg.OnEvent = func(line string) { fmt.Println("node:", line) }
+	}
+	node, err := replica.NewNode(ncfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // shutdown closed the listener
+			}
+			go node.HandleConn(conn)
+		}
+	}()
+	fmt.Printf("auto: %s recovered to seq %d at term %d, listening on %s, peers %v\n",
+		advertise, node.Follower().Seq(), node.Term(), ln.Addr(), ncfg.Peers)
+	runErr := node.Run(ctx)
+	closeErr := node.Close()
+	col := node.Follower().Pipeline().Collector()
+	fmt.Printf("\nauto: drained as %s at seq %d\n", node.Role(), node.Follower().Seq())
+	printReplStats(col, node.Term())
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		fatal(runErr)
+	}
+	if closeErr != nil {
+		fatal(closeErr)
+	}
+}
+
+// runClient streams the workload into the cluster from outside it,
+// chasing the leader through redirect hints when leadership moves.
+// Acked batches stay exactly-once across failovers: every Welcome
+// (and ack) names the durable prefix, and the client resubmits only
+// past it.
+func runClient(ctx context.Context, peers string, seed int64, batches [][]graph.Update, verbose bool) {
+	nodes := splitAddrs(peers)
+	if len(nodes) == 0 {
+		fatal(errors.New("-peers is required for -role client: the cluster addresses to submit to"))
+	}
+	ccfg := replica.ClientConfig{Nodes: nodes, Dial: dialTCP, Seed: seed}
+	if verbose {
+		ccfg.OnEvent = func(line string) { fmt.Println("client:", line) }
+	}
+	cl, err := replica.NewClient(ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	runErr := cl.Run(ctx, batches)
+	fmt.Printf("client: %d of %d batches quorum-durable in %s\n",
+		cl.Acked(), len(batches), time.Since(start).Round(time.Millisecond))
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func splitAddrs(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func dialTCP(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
 }
 
 // runFollower serves replication sessions until the context is

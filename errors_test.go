@@ -198,6 +198,31 @@ func TestErrorWrappingContracts(t *testing.T) {
 				fmt.Errorf("%w: follower rejected the offer", replica.ErrReseedAborted)),
 			is: []error{replica.ErrFollowerBehind, wal.ErrCompacted, replica.ErrReseedAborted},
 		},
+		{
+			name: "lease expiry sentinel survives the role loop",
+			err:  fmt.Errorf("follower: %w after 4 missed heartbeats", replica.ErrLeaseExpired),
+			is:   []error{replica.ErrLeaseExpired},
+		},
+		{
+			name: "lost election keeps the outranking peer's reason",
+			err: fmt.Errorf("candidacy at term 3: %w",
+				fmt.Errorf("%w: peer beta holds a richer log", replica.ErrElectionLost)),
+			is: []error{replica.ErrElectionLost},
+			as: func(err error) bool {
+				// Losing an election is not a quorum failure: the loser saw
+				// its peers, it just got outranked.
+				return !errors.Is(err, replica.ErrQuorumLost)
+			},
+		},
+		{
+			name: "redirect carries the leader hint behind ErrNotLeader",
+			err:  fmt.Errorf("submit: %w", &replica.RedirectError{Leader: "beta:7400"}),
+			is:   []error{replica.ErrNotLeader},
+			as: func(err error) bool {
+				var re *replica.RedirectError
+				return errors.As(err, &re) && re.Leader == "beta:7400"
+			},
+		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, sentinel := range tc.is {

@@ -1,0 +1,71 @@
+package analysis
+
+import "go/ast"
+
+// clockSeamPkgs are the packages bound by the PR-8 liveness contract:
+// lease expiry, election splays, and heartbeat cadence must run on the
+// injected serve.Clock so the role state machine is testable on a fake
+// clock with no real sleeps. A single raw time call re-introduces the
+// wall clock behind the seam and silently breaks that.
+var clockSeamPkgs = []string{
+	"internal/replica",
+}
+
+// clockSeamForbidden are the time-package functions that read or
+// schedule against the process wall clock. Duration arithmetic,
+// time.Time values, and constants remain fine — only the calls that
+// make *this process* observe real time are fenced.
+var clockSeamForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "Sleep": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// ClockseamCheck flags raw time-package clock and timer calls inside
+// the clock-disciplined packages. All waits and timestamps there must
+// flow through the injected serve.Clock (Now + context-aware Sleep),
+// which is what lets the lease/election tests drive whole failover
+// stories deterministically. Test files are outside the loader's file
+// set, so fake clocks in _test.go never trip this.
+func ClockseamCheck() *Check {
+	return &Check{
+		Name: "clockseam",
+		Doc:  "forbid raw time.Now/Sleep/After/Timer calls in internal/replica; wall time must flow through the injected serve.Clock seam",
+		Run:  runClockseam,
+	}
+}
+
+func runClockseam(pass *Pass) {
+	applies := false
+	for _, p := range clockSeamPkgs {
+		if pathHasSuffix(pass.Path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if importedPackagePath(pass, id) == "time" && clockSeamForbidden[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"time.%s bypasses the injected clock; route waits and timestamps through the serve.Clock seam so lease and election timing stays testable",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

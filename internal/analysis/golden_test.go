@@ -2,12 +2,16 @@ package analysis
 
 import "testing"
 
-// The five project checks, each against its golden testdata package.
+// The six project checks, each against its golden testdata package.
 // The import path override places the testdata inside (or outside)
 // the package sets the checks gate on.
 
 func TestGoldenDeterminism(t *testing.T) {
 	runGolden(t, DeterminismCheck(), "determinism", "github.com/tdgraph/tdgraph/internal/sim", nil)
+}
+
+func TestGoldenClockseam(t *testing.T) {
+	runGolden(t, ClockseamCheck(), "clockseam", "github.com/tdgraph/tdgraph/internal/replica", nil)
 }
 
 func TestGoldenErrwrap(t *testing.T) {
@@ -35,6 +39,18 @@ func TestGoldenDeterminismOutsideSet(t *testing.T) {
 	diags := RunChecks([]*Check{DeterminismCheck()}, pkg, nil)
 	if len(diags) != 0 {
 		t.Fatalf("determinism fired outside the deterministic package set: %v", diags)
+	}
+}
+
+// TestGoldenClockseamOutsideSet proves the package gate: the serve
+// layer (which owns the RealClock implementation) and everything else
+// may call the time package freely.
+func TestGoldenClockseamOutsideSet(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg := loadGoldenPackage(t, loader, "clockseam", "github.com/tdgraph/tdgraph/internal/serve2")
+	diags := RunChecks([]*Check{ClockseamCheck()}, pkg, nil)
+	if len(diags) != 0 {
+		t.Fatalf("clockseam fired outside internal/replica: %v", diags)
 	}
 }
 

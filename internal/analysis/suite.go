@@ -15,6 +15,7 @@ import (
 func Checks() []*Check {
 	return []*Check{
 		DeterminismCheck(),
+		ClockseamCheck(),
 		ErrwrapCheck(),
 		LockorderCheck(),
 		SyncackCheck(),

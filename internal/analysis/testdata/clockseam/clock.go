@@ -1,0 +1,66 @@
+// Golden input for the clockseam check. The harness type-checks this
+// file under the internal/replica import path, placing it inside the
+// clock-disciplined package set.
+package replica
+
+import (
+	"context"
+	"time"
+)
+
+// Clock mirrors the serve.Clock seam: the one sanctioned way to read
+// or wait on time inside the replica package.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+func leaseDeadline(clk Clock, lease time.Duration) time.Time {
+	return clk.Now().Add(lease) // seam call: fine
+}
+
+func rawDeadline(lease time.Duration) time.Time {
+	return time.Now().Add(lease) // want `time\.Now bypasses the injected clock`
+}
+
+func elapsedSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since bypasses the injected clock`
+}
+
+func waitOut(ctx context.Context, clk Clock, d time.Duration) error {
+	return clk.Sleep(ctx, d) // seam call: fine
+}
+
+func rawWait(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep bypasses the injected clock`
+}
+
+func rawTimerChan(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time\.After bypasses the injected clock`
+}
+
+func rawTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `time\.NewTicker bypasses the injected clock`
+}
+
+func rawDeferred(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want `time\.AfterFunc bypasses the injected clock`
+}
+
+func durationsAndZeroesAreFine(lease time.Duration) time.Time {
+	var zero time.Time // the zero value clears I/O deadlines; no clock read
+	_ = 4 * lease
+	_ = 5 * time.Second
+	return zero
+}
+
+// shadowed is a variable named time-like qualifier: method calls on it
+// must not be mistaken for package calls.
+type fakeTime struct{}
+
+func (fakeTime) Now() time.Time { return time.Time{} }
+
+func shadowed() time.Time {
+	var time fakeTime
+	return time.Now() // a variable, not the time package: fine
+}

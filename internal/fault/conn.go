@@ -11,7 +11,12 @@ import (
 // This file is the replication-transport fault surface: Injector.Conn
 // wraps a net.Conn with seeded network pathologies so the replica
 // chaos suite can replay a lossy, reordering, partitioning wire from a
-// seed. Faults act per Write call — the replication protocol frames one
+// seed. Partitions come in two shapes — net-partition (full, after N
+// writes) and net-partition-recv (read-side only, after N reads: the
+// asymmetric split where a node can send but never hear) — and
+// net-heal un-splits either after a budget of blocked calls, so
+// election chaos can replay one-way splits and recoveries.
+// Faults act per Write call — the replication protocol frames one
 // message per Write, so a dropped/duplicated/reordered Write is a
 // dropped/duplicated/reordered frame, and net-trunc kills the
 // connection mid-record on the wire.
@@ -31,6 +36,12 @@ func (in *Injector) Conn(c net.Conn) net.Conn {
 	if n, ok := in.armed[NetPartition]; ok {
 		fc.partitionAfter, fc.havePartition = int(n), true
 	}
+	if n, ok := in.armed[NetPartitionRecv]; ok {
+		fc.recvAfter, fc.haveRecv = int(n), true
+	}
+	if n, ok := in.armed[NetHeal]; ok {
+		fc.healAfter, fc.haveHeal = int(n), true
+	}
 	if b, ok := in.armed[NetTrunc]; ok {
 		fc.truncBudget, fc.haveTrunc = int64(b), true
 	}
@@ -48,9 +59,31 @@ type faultConn struct {
 	partitionAfter int
 	havePartition  bool
 	partitioned    bool
+	reads          int
+	recvAfter      int
+	haveRecv       bool
+	recvPartitioned bool
+	healAfter      int
+	haveHeal       bool
+	blockedOps     int
 	truncBudget    int64
 	haveTrunc      bool
 	dead           bool
+}
+
+// blockedLocked records one I/O call refused by a live partition and,
+// when NetHeal is armed, heals both partition kinds once the budget of
+// blocked operations is spent: the Nth refused call still fails, the
+// next one flows. Each partition class trips at most once, so a healed
+// connection stays healed. Callers hold fc.mu.
+func (fc *faultConn) blockedLocked() {
+	fc.blockedOps++
+	if fc.haveHeal && fc.blockedOps >= fc.healAfter {
+		fc.partitioned = false
+		fc.recvPartitioned = false
+		fc.blockedOps = 0
+		fc.in.count(NetHeal)
+	}
 }
 
 // Write applies the armed classes in a fixed order — partition,
@@ -59,13 +92,19 @@ type faultConn struct {
 func (fc *faultConn) Write(p []byte) (int, error) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	if fc.dead || fc.partitioned {
+	if fc.dead {
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	if fc.partitioned {
+		fc.blockedLocked()
 		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
 	}
 	fc.writes++
 	if fc.havePartition && fc.writes > fc.partitionAfter {
+		fc.havePartition = false // trips once; a heal is permanent
 		fc.partitioned = true
 		fc.in.count(NetPartition)
+		fc.blockedLocked()
 		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
 	}
 	if fc.haveTrunc {
@@ -127,11 +166,25 @@ func (fc *faultConn) Write(p []byte) (int, error) {
 
 func (fc *faultConn) Read(p []byte) (int, error) {
 	fc.mu.Lock()
-	dead := fc.dead || fc.partitioned
-	fc.mu.Unlock()
-	if dead {
+	if fc.dead {
+		fc.mu.Unlock()
 		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
 	}
+	if fc.partitioned || fc.recvPartitioned {
+		fc.blockedLocked()
+		fc.mu.Unlock()
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	fc.reads++
+	if fc.haveRecv && fc.reads > fc.recvAfter {
+		fc.haveRecv = false // trips once; a heal is permanent
+		fc.recvPartitioned = true
+		fc.in.count(NetPartitionRecv)
+		fc.blockedLocked()
+		fc.mu.Unlock()
+		return 0, fmt.Errorf("fault: connection partitioned: %w", ErrInjected)
+	}
+	fc.mu.Unlock()
 	return fc.Conn.Read(p)
 }
 

@@ -179,6 +179,129 @@ func TestConnTruncateMidFrame(t *testing.T) {
 	}
 }
 
+// TestConnPartitionRecv: the read-side partition is asymmetric — after
+// the armed read count every Read fails with ErrInjected while Writes
+// keep flowing, the one-way split where a node can send but never
+// hear. Without a heal armed the deafness is permanent.
+func TestConnPartitionRecv(t *testing.T) {
+	in := New(3)
+	in.Arm(NetPartitionRecv, 2)
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+	go func() {
+		for i := byte(0); i < 2; i++ {
+			b.Write(frame(i, 4))
+		}
+	}()
+	buf := make([]byte, 4)
+	for i := byte(0); i < 2; i++ {
+		if _, err := fc.Read(buf); err != nil {
+			t.Fatalf("read %d before the partition: %v", i, err)
+		}
+		if buf[0] != i {
+			t.Fatalf("read %d delivered frame %d", i, buf[0])
+		}
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after the partition: want ErrInjected, got %v", err)
+	}
+
+	// The send side is untouched: the deaf node still talks.
+	got := pump(b, 4)
+	if _, err := fc.Write(frame(9, 4)); err != nil {
+		t.Fatalf("write during a recv partition: %v", err)
+	}
+	// And it stays deaf: no heal armed, so the trip is forever.
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read stays partitioned: want ErrInjected, got %v", err)
+	}
+	fc.Close()
+	if frames := <-got; len(frames) != 1 || frames[0][0] != 9 {
+		t.Fatalf("send side delivered %d frames, want just frame 9", len(frames))
+	}
+	if counts := in.Injected(); len(counts) != 1 || counts[0].Class != NetPartitionRecv || counts[0].Count != 1 {
+		t.Fatalf("unexpected injection counts: %+v", counts)
+	}
+}
+
+// TestConnHealAfterBlockedWrites: net-heal un-splits a tripped write
+// partition after the armed budget of refused calls — the Nth refused
+// call still fails, the next one flows — and the heal is permanent.
+func TestConnHealAfterBlockedWrites(t *testing.T) {
+	in := New(11)
+	in.Arm(NetPartition, 1)
+	in.Arm(NetHeal, 3)
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+	got := pump(b, 4)
+
+	if _, err := fc.Write(frame(0, 4)); err != nil {
+		t.Fatalf("write before the partition: %v", err)
+	}
+	// The trip itself plus two more refusals spend the heal budget of 3
+	// blocked operations; each of those calls still fails.
+	for i := 0; i < 3; i++ {
+		if _, err := fc.Write(frame(9, 4)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("blocked write %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	// Healed: traffic flows again, in both directions, from here on.
+	for i := byte(1); i <= 3; i++ {
+		if _, err := fc.Write(frame(i, 4)); err != nil {
+			t.Fatalf("write %d after the heal: %v", i, err)
+		}
+	}
+	fc.Close()
+	var ids []byte
+	for _, f := range <-got {
+		ids = append(ids, f[0])
+	}
+	if string(ids) != string([]byte{0, 1, 2, 3}) {
+		t.Fatalf("wire saw frames %v, want [0 1 2 3]", ids)
+	}
+	healed := false
+	for _, c := range in.Injected() {
+		if c.Class == NetHeal {
+			healed = c.Count == 1
+		}
+	}
+	if !healed {
+		t.Fatalf("NetHeal not counted exactly once: %+v", in.Injected())
+	}
+}
+
+// TestConnHealAfterBlockedReads: the same heal budget mends a read-side
+// partition, so an asymmetric split recovers without a reconnect.
+func TestConnHealAfterBlockedReads(t *testing.T) {
+	in := New(13)
+	in.Arm(NetPartitionRecv, 1)
+	in.Arm(NetHeal, 2)
+	a, b := net.Pipe()
+	fc := in.Conn(a)
+	go func() {
+		for i := byte(0); i < 3; i++ {
+			b.Write(frame(i, 4))
+		}
+	}()
+	buf := make([]byte, 4)
+	if _, err := fc.Read(buf); err != nil || buf[0] != 0 {
+		t.Fatalf("read before the partition: %v (frame %d)", err, buf[0])
+	}
+	// The trip plus one more refusal spend the budget of 2; both fail.
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("blocked read %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	// Healed: the remaining frames arrive in order.
+	for i := byte(1); i < 3; i++ {
+		if _, err := fc.Read(buf); err != nil || buf[0] != i {
+			t.Fatalf("read %d after the heal: %v (frame %d)", i, err, buf[0])
+		}
+	}
+	fc.Close()
+}
+
 // TestConnSpecParse: net classes arm through the same class[:param]
 // spec syntax as every other injector class.
 func TestConnSpecParse(t *testing.T) {

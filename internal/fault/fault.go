@@ -91,6 +91,19 @@ const (
 	// prefix and the connection closes under the writer. Armed through
 	// Injector.Conn.
 	NetTrunc Class = "net-trunc"
+	// NetPartitionRecv partitions the read side only after a number of
+	// Read calls (param: reads before the partition): writes still
+	// flow, reads fail — the asymmetric, one-way split where a primary
+	// can talk but never hears acknowledgements (or a follower hears
+	// records it can no longer ack). Armed through Injector.Conn.
+	NetPartitionRecv Class = "net-partition-recv"
+	// NetHeal heals a tripped partition (NetPartition or
+	// NetPartitionRecv) after a number of failed I/O calls (param:
+	// blocked operations before the heal), modelling a transient split
+	// that recovers — the election chaos suite's partition-heal case.
+	// A NetTrunc death is permanent and never heals. Armed through
+	// Injector.Conn.
+	NetHeal Class = "net-heal"
 )
 
 // Classes lists every recognised fault class.
@@ -99,6 +112,7 @@ var Classes = []Class{
 	CkptFlip, CkptTruncate, ReadErr, WriteErr, Hang, Diverge,
 	WALTorn, FsyncErr, DiskFull, PartialSeg,
 	NetDrop, NetDelay, NetDup, NetReorder, NetPartition, NetTrunc,
+	NetPartitionRecv, NetHeal,
 }
 
 // defaultParam is the per-class parameter used when a spec arms a class
@@ -124,8 +138,10 @@ var defaultParam = map[Class]float64{
 	NetDelay:     1,
 	NetDup:       0.05,
 	NetReorder:   0.05,
-	NetPartition: 32,
-	NetTrunc:     4096,
+	NetPartition:     32,
+	NetTrunc:         4096,
+	NetPartitionRecv: 32,
+	NetHeal:          8,
 }
 
 // ErrInjected is the sentinel every scheduled I/O failure wraps, so

@@ -19,6 +19,17 @@ type FollowerConfig struct {
 	// serving". The WAL sync policy is forced to SyncEachBatch: an
 	// acknowledgement must mean fsynced, whatever the config says.
 	Pipeline serve.PipelineConfig
+	// OnLiveness is called with the session term each time the serving
+	// primary proves it is alive — at the handshake, on every heartbeat,
+	// and on every record. The automation layer renews its lease here;
+	// nil ignores liveness. Called from the session goroutine.
+	OnLiveness func(term uint64)
+	// OnLeader is called when a handshake durably adopts a new term,
+	// with the primary's advertised address (possibly empty). The
+	// automation layer uses it to learn who to redirect clients to and
+	// to step down if it thought it was the leader itself. Called from
+	// the session goroutine, after the term is durable.
+	OnLeader func(term uint64, addr string)
 	// OnEvent receives one line per notable event (nil discards).
 	OnEvent func(string)
 }
@@ -30,13 +41,25 @@ type FollowerConfig struct {
 // the pipeline's ordinary recovery; nothing replication-specific
 // survives a restart except the durable term.
 type Follower struct {
-	mu    sync.Mutex
-	cfg   FollowerConfig
-	pipe  *serve.Pipeline
-	col   *stats.Collector
-	fs    wal.FS
-	dir   string
-	state TermState
+	// sessionMu serialises the operations that move the pipeline:
+	// replication sessions, snapshot installs, and promotions.
+	sessionMu sync.Mutex
+	// mu guards the snapshot fields probe answers read while a session
+	// is mid-flight: the durable term state and the last-heard leader
+	// address. The pipeline position itself is pipe.Seq(), an atomic.
+	mu     sync.Mutex
+	cfg    FollowerConfig
+	pipe   *serve.Pipeline
+	col    *stats.Collector
+	fs     wal.FS
+	dir    string
+	state  TermState
+	leader string // advertised address of the last adopted primary
+	// claimed marks that this process itself promoted to state.Term —
+	// it is that term's authority, so a second Hello claiming the same
+	// term is a split brain, not a reconnect. Written under sessionMu
+	// plus mu; read under either.
+	claimed bool
 }
 
 // NewFollower recovers the follower's durable state (checkpoint + WAL
@@ -44,6 +67,12 @@ type Follower struct {
 func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.OnEvent == nil {
 		cfg.OnEvent = func(string) {}
+	}
+	if cfg.OnLiveness == nil {
+		cfg.OnLiveness = func(uint64) {}
+	}
+	if cfg.OnLeader == nil {
+		cfg.OnLeader = func(uint64, string) {}
 	}
 	// Ack honesty: every acknowledged record must be on the platter.
 	cfg.Pipeline.WAL.Sync = wal.SyncEachBatch
@@ -73,6 +102,17 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 // Pipeline exposes the follower's pipeline (states, stats, Close).
 func (f *Follower) Pipeline() *serve.Pipeline { return f.pipe }
 
+// Close waits for any in-flight replication session to unwind and then
+// closes the pipeline, so a returned Close is a quiescence guarantee:
+// no session is still applying records behind it. Sever the session's
+// connection first (Node.Close does) or this blocks until the primary
+// hangs up on its own.
+func (f *Follower) Close() error {
+	f.sessionMu.Lock()
+	defer f.sessionMu.Unlock()
+	return f.pipe.Close()
+}
+
 // Seq returns the follower's last durable-and-applied sequence.
 func (f *Follower) Seq() uint64 { return f.pipe.Seq() }
 
@@ -83,62 +123,152 @@ func (f *Follower) Term() uint64 {
 	return f.state.Term
 }
 
+// Leader returns the advertised address of the last primary whose term
+// this follower adopted ("" before any session, or after promotion).
+func (f *Follower) Leader() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
+}
+
+// setState publishes a new durable term state to concurrent probe
+// readers. Callers hold sessionMu.
+func (f *Follower) setState(st TermState) {
+	f.mu.Lock()
+	f.state = st
+	f.mu.Unlock()
+}
+
+// TailStamp returns the origin term of this follower's newest record
+// (0 for un-ledgered history) — the first key of the up-to-dateness
+// comparison elections run.
+func (f *Follower) TailStamp() uint64 {
+	seq := f.pipe.Seq()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state.At(seq)
+}
+
+// selfClaimed reports whether this process itself promoted to the
+// adopted term, making it that term's authority — the one case where
+// an equal-term session claim is a split brain and not a reconnect.
+func (f *Follower) selfClaimed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.claimed
+}
+
+// SetLeaderHint overrides the leader address probe answers hand out.
+// A freshly promoted node names itself; a demoted one clears it.
+func (f *Follower) SetLeaderHint(addr string) {
+	f.mu.Lock()
+	f.leader = addr
+	f.mu.Unlock()
+}
+
+// AnswerProbe writes one FrameState snapshot: durable term, last
+// durable sequence, tail origin stamp, and the last-heard leader
+// address as the payload — the redirect hint an electing candidate or
+// a lost client follows. Probing adopts nothing and is safe while a
+// replication session is mid-flight on another connection.
+func (f *Follower) AnswerProbe(conn net.Conn) error {
+	f.mu.Lock()
+	leader := f.leader
+	f.mu.Unlock()
+	return f.AnswerProbeLeader(conn, leader)
+}
+
+// AnswerProbeLeader is AnswerProbe with the leader hint chosen by the
+// caller — the automation layer scopes the hint to its lease so
+// candidates never chase a leader nobody has heard from.
+func (f *Follower) AnswerProbeLeader(conn net.Conn, leader string) error {
+	seq := f.pipe.Seq()
+	f.mu.Lock()
+	fr := Frame{
+		Type: FrameState, Term: f.state.Term, Seq: seq,
+		Orig: f.state.At(seq), Payload: []byte(leader),
+	}
+	f.mu.Unlock()
+	return WriteFrame(conn, fr)
+}
+
 // Serve runs one replication session on conn until the primary
 // disconnects (nil), the transport dies (the I/O error), or the
 // session must end for protocol reasons (ErrStaleTerm when the primary
 // is deposed, ErrFollowerBehind on a sequence gap, ErrFollowerDiverged
 // when the primary refuses this replica's log). It blocks the calling
 // goroutine; sessions are serialised, and Promote excludes them.
-//
-// A session must claim a term *strictly greater* than any this
-// follower has adopted. Equal is rejected too: terms are unique by
-// construction (a primary claims max-of-probed+1), so a second Hello
-// at an already-adopted term is another process racing for the same
-// authority — accepting both is exactly the split brain fencing
-// exists to prevent.
+// Probes and client hellos are answered before a session opens without
+// blocking on an active one.
 func (f *Follower) Serve(conn net.Conn) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-
-	// Answer probes (term discovery by a starting primary) until a
-	// session opens; probing adopts nothing.
-	var hello Frame
 	for {
 		fr, err := ReadFrame(conn)
 		if err != nil {
 			return err
 		}
-		if fr.Type == FrameProbe {
-			if err := WriteFrame(conn, Frame{
-				Type: FrameState, Term: f.state.Term, Seq: f.pipe.Seq(),
-				Orig: f.state.At(f.pipe.Seq()),
-			}); err != nil {
+		switch fr.Type {
+		case FrameProbe:
+			if err := f.AnswerProbe(conn); err != nil {
 				return err
 			}
-			continue
-		}
-		if fr.Type != FrameHello {
+		case FrameClientHello:
+			// A client dialed a follower: refuse with the leader hint so
+			// its failover can re-aim in one hop.
+			f.mu.Lock()
+			term, leader := f.state.Term, f.leader
+			f.mu.Unlock()
+			f.col.Inc(stats.CtrReplRedirects)
+			if err := WriteFrame(conn, Frame{Type: FrameReject, Term: term, Payload: []byte(leader)}); err != nil {
+				return err
+			}
+			return &RedirectError{Leader: leader}
+		case FrameHello:
+			return f.ServeSession(conn, fr)
+		default:
 			return &FrameError{Reason: "handshake",
 				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, fr.Type)}
 		}
-		hello = fr
-		break
 	}
-	if hello.Term <= f.state.Term {
+}
+
+// ServeSession runs the replication session that hello opened. A
+// session must claim a term no lower than any this follower has
+// adopted. A claim *below* the adopted term is a deposed primary;
+// a claim *equal* to a term this follower itself promoted to is a
+// split brain (the follower is that term's authority) — both are
+// fenced. An equal claim of a term adopted *from* a primary is that
+// unique primary reconnecting — a dropped connection, a leader
+// re-attaching after a transient failure — and is accepted without
+// re-persisting anything: terms are unique by construction (a primary
+// claims max-of-probed+1 over a quorum), so per term there is exactly
+// one process that can present it.
+func (f *Follower) ServeSession(conn net.Conn, hello Frame) error {
+	f.sessionMu.Lock()
+	defer f.sessionMu.Unlock()
+
+	if hello.Term < f.state.Term || (hello.Term == f.state.Term && f.claimed) {
 		f.col.Inc(stats.CtrReplFenceRejects)
 		f.cfg.OnEvent(fmt.Sprintf("rejected primary with stale term %d (ours %d)", hello.Term, f.state.Term))
 		WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
 		return fmt.Errorf("session with deposed primary (term %d <= %d): %w", hello.Term, f.state.Term, ErrStaleTerm)
 	}
-	// Durably adopt the new term before welcoming: after a crash this
-	// follower must still refuse the old primary.
-	adopted := f.state
-	adopted.Term = hello.Term
-	adopted.Ledger = append([]TermBase(nil), f.state.Ledger...)
-	if err := SaveTermState(f.fs, f.dir, adopted); err != nil {
-		return err
+	if hello.Term > f.state.Term {
+		// Durably adopt the new term before welcoming: after a crash this
+		// follower must still refuse the old primary.
+		adopted := f.state
+		adopted.Term = hello.Term
+		adopted.Ledger = append([]TermBase(nil), f.state.Ledger...)
+		if err := SaveTermState(f.fs, f.dir, adopted); err != nil {
+			return err
+		}
+		f.setState(adopted)
 	}
-	f.state = adopted
+	f.mu.Lock()
+	f.leader = string(hello.Payload)
+	f.claimed = false
+	f.mu.Unlock()
+	f.cfg.OnLeader(hello.Term, string(hello.Payload))
+	f.cfg.OnLiveness(hello.Term)
 	if err := WriteFrame(conn, Frame{
 		Type: FrameWelcome, Term: f.state.Term, Seq: f.pipe.Seq(),
 		Orig: f.state.At(f.pipe.Seq()),
@@ -175,6 +305,18 @@ func (f *Follower) Serve(conn net.Conn) error {
 			}
 			continue
 		}
+		if fr.Type == FrameHeartbeat {
+			// Liveness only: renew the lease, acknowledge nothing. A
+			// heartbeat from a deposed primary fences it like a record
+			// would.
+			if fr.Term < f.state.Term {
+				f.col.Inc(stats.CtrReplFenceRejects)
+				WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
+				return fmt.Errorf("heartbeat from deposed primary (term %d < %d): %w", fr.Term, f.state.Term, ErrStaleTerm)
+			}
+			f.cfg.OnLiveness(fr.Term)
+			continue
+		}
 		if fr.Type != FrameRecord {
 			return &FrameError{Reason: "session",
 				Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, fr.Type)}
@@ -186,6 +328,7 @@ func (f *Follower) Serve(conn net.Conn) error {
 			WriteFrame(conn, Frame{Type: FrameReject, Term: f.state.Term, Seq: f.pipe.Seq()})
 			return fmt.Errorf("record from deposed primary (term %d < %d): %w", fr.Term, f.state.Term, ErrStaleTerm)
 		}
+		f.cfg.OnLiveness(fr.Term)
 		switch {
 		case fr.Seq <= f.pipe.Seq():
 			// Duplicate (retry, or a dup-injecting wire): already durable,
@@ -242,36 +385,58 @@ func (f *Follower) stampOrigin(fr Frame) error {
 	if err := SaveTermState(f.fs, f.dir, stamped); err != nil {
 		return err
 	}
-	f.state = stamped
+	f.setState(stamped)
 	return nil
 }
 
-// Promote turns this follower into the authority for a new term: the
-// incremented term is made durable (fencing every older primary that
-// later reconnects), the ledger is stamped so records the new primary
-// creates are attributed to it, and the term is returned for the
-// caller to serve under. The promoted log itself needs no truncation —
-// every record it holds passed the frame and WAL CRCs, and an
-// unacknowledged tail is simply extra batches the old primary never
-// confirmed to its client — but the promotion is only safe for the
-// *most-advanced* follower, and the ledger is what enforces the rest:
-// any replica whose log grew past or apart from the promoted one
-// (a deposed primary resurrected by WAL replay, say) presents a
-// conflicting tail stamp at its next handshake and is refused with
-// ErrFollowerDiverged instead of converging by catch-up. Must not run
-// while a Serve session is active (it excludes them via the same
-// lock).
+// Promote turns this follower into the authority for the next term; it
+// is PromoteTo at the follower's own adopted term plus one — right
+// when the caller knows no higher term was ever claimed (the
+// operator-run failover), while elections claim max-of-probed+1.
 func (f *Follower) Promote() (uint64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.sessionMu.Lock()
+	defer f.sessionMu.Unlock()
+	return f.promoteLocked(f.state.Term + 1)
+}
+
+// PromoteTo makes this follower the authority for exactly term: the
+// term is made durable (fencing every older primary that later
+// reconnects), the ledger is stamped so records the new primary
+// creates are attributed to it, and the term is returned for the
+// caller to serve under. A term at or below the adopted one is refused
+// with ErrStaleTerm — someone else claimed it first. The promoted log
+// itself needs no truncation — every record it holds passed the frame
+// and WAL CRCs, and an unacknowledged tail is simply extra batches the
+// old primary never confirmed to its client — but the promotion is
+// only safe for the *most-up-to-date* candidate, and the ledger is
+// what enforces the rest: any replica whose log grew past or apart
+// from the promoted one (a deposed primary resurrected by WAL replay,
+// say) presents a conflicting tail stamp at its next handshake and is
+// refused with ErrFollowerDiverged instead of converging by catch-up.
+// Must not run while a Serve session is active (it excludes them via
+// the same lock).
+func (f *Follower) PromoteTo(term uint64) (uint64, error) {
+	f.sessionMu.Lock()
+	defer f.sessionMu.Unlock()
+	return f.promoteLocked(term)
+}
+
+func (f *Follower) promoteLocked(term uint64) (uint64, error) {
+	if term <= f.state.Term {
+		return 0, fmt.Errorf("cannot promote to term %d at adopted term %d: %w", term, f.state.Term, ErrStaleTerm)
+	}
 	promoted := f.state
 	promoted.Ledger = append([]TermBase(nil), f.state.Ledger...)
-	promoted.Term = f.state.Term + 1
+	promoted.Term = term
 	promoted.Stamp(promoted.Term, f.pipe.Seq()+1)
 	if err := SaveTermState(f.fs, f.dir, promoted); err != nil {
 		return 0, err
 	}
-	f.state = promoted
+	f.setState(promoted)
+	f.mu.Lock()
+	f.leader = ""
+	f.claimed = true
+	f.mu.Unlock()
 	f.col.Inc(stats.CtrReplFailovers)
 	f.cfg.OnEvent(fmt.Sprintf("promoted to primary at term %d, seq %d", promoted.Term, f.pipe.Seq()))
 	return promoted.Term, nil

@@ -60,6 +60,16 @@ type PrimaryConfig struct {
 	// AckTimeout bounds the wait for one follower acknowledgement
 	// (default 5s). A follower that misses it is dropped, not waited on.
 	AckTimeout time.Duration
+	// Advertise is the address clients and followers should reach this
+	// primary's node at; it rides in the Hello payload so followers can
+	// hand it out as the redirect hint. Empty is fine for operator-run
+	// clusters with no client failover.
+	Advertise string
+	// Clock supplies the wall times used for connection deadlines
+	// (default real time). Election and lease logic never reads the
+	// clock directly — the tdgraph-vet clock-discipline check enforces
+	// that everything in this package flows through this seam.
+	Clock serve.Clock
 	// Snapshots, when set, enables reseeding: a follower that is behind
 	// retention or whose log diverges is shipped the newest checkpoint
 	// instead of being refused. Nil keeps PR 4's refuse-only behavior.
@@ -81,6 +91,9 @@ func (c PrimaryConfig) withDefaults() PrimaryConfig {
 	}
 	if c.SnapChunkBytes <= 0 {
 		c.SnapChunkBytes = 256 << 10
+	}
+	if c.Clock == nil {
+		c.Clock = serve.RealClock{}
 	}
 	if c.Collector == nil {
 		c.Collector = stats.NewCollector()
@@ -146,6 +159,41 @@ func (p *Primary) Followers() int {
 	return n
 }
 
+// HasLive reports whether a live follower attached under name.
+func (p *Primary) HasLive(name string) bool {
+	for _, fc := range p.followers {
+		if !fc.dead && fc.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Heartbeat asserts this primary's liveness to every live follower:
+// one write-only FrameHeartbeat carrying the term and the log-end
+// sequence. Heartbeats are never acknowledged — the next frame read on
+// a session is still the next record's ack — so a quiet cluster pays
+// one frame per follower per tick, not a round trip. A follower whose
+// transport refuses the write is dropped exactly as a missed ack would
+// drop it. Returns how many followers are alive after the sweep, the
+// number the caller compares against its quorum to notice it has been
+// isolated.
+func (p *Primary) Heartbeat() int {
+	alive := 0
+	for _, fc := range p.followers {
+		if fc.dead {
+			continue
+		}
+		if err := p.writeFrame(fc, Frame{Type: FrameHeartbeat, Term: p.cfg.Term, Seq: p.seq}); err != nil {
+			p.dropFollower(fc, err)
+			continue
+		}
+		p.col.Inc(stats.CtrReplHeartbeatsSent)
+		alive++
+	}
+	return alive
+}
+
 // Acked returns the highest sequence each live follower has
 // acknowledged, in attachment order (dead followers report 0).
 func (p *Primary) Acked() []uint64 {
@@ -171,6 +219,14 @@ func (p *Primary) Acked() []uint64 {
 // a source the old refusals stand: ErrFollowerDiverged at the
 // handshake, ErrFollowerBehind at the first catch-up.
 func (p *Primary) AddFollower(conn net.Conn) error {
+	return p.AddNamedFollower("", conn)
+}
+
+// AddNamedFollower is AddFollower with a caller-chosen name — the
+// peer's address, for a Node-managed cluster — so the automation layer
+// can tell which peers are attached (HasLive) and keep re-dialing the
+// rest. An empty name gets the attachment-ordered default.
+func (p *Primary) AddNamedFollower(name string, conn net.Conn) error {
 	if !p.stateLoaded {
 		st, err := LoadTermState(p.walFS(), p.cfg.WAL.Dir)
 		if err != nil {
@@ -187,8 +243,11 @@ func (p *Primary) AddFollower(conn net.Conn) error {
 	} else if end > p.seq {
 		p.seq = end
 	}
-	fc := &followerConn{conn: conn, name: fmt.Sprintf("follower-%d", len(p.followers))}
-	if err := p.writeFrame(fc, Frame{Type: FrameHello, Term: p.cfg.Term}); err != nil {
+	if name == "" {
+		name = fmt.Sprintf("follower-%d", len(p.followers))
+	}
+	fc := &followerConn{conn: conn, name: name}
+	if err := p.writeFrame(fc, Frame{Type: FrameHello, Term: p.cfg.Term, Payload: []byte(p.cfg.Advertise)}); err != nil {
 		return err
 	}
 	f, err := p.readFrame(fc)
@@ -222,6 +281,15 @@ func (p *Primary) AddFollower(conn net.Conn) error {
 	default:
 		return &FrameError{Reason: "handshake",
 			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.Type)}
+	}
+	// Ship the backlog right away: an attach may be the rejoin of a
+	// lagging or freshly reseeded replica on an otherwise idle leader,
+	// and it must not have to wait for the next client batch to
+	// converge.
+	if fc.acked < p.seq {
+		if err := p.catchUp(fc, p.seq); err != nil {
+			return err
+		}
 	}
 	p.followers = append(p.followers, fc)
 	p.cfg.OnEvent(fmt.Sprintf("%s attached at seq %d", fc.name, fc.acked))
@@ -280,30 +348,56 @@ func (p *Primary) walFS() wal.FS {
 	return wal.OSFS{}
 }
 
-// ProbeState asks the replica serving conn for its durable term and
-// log position without claiming or adopting anything. A starting
-// primary probes every reachable peer and claims strictly more than
-// the maximum term it sees (and its own stored one), which is what
-// makes terms unique: a deposed primary restarting cannot re-claim a
-// term its successors already hold.
-func ProbeState(conn net.Conn, timeout time.Duration) (term, seq uint64, err error) {
+// PeerState is one probe answer: the peer's durable term, its last
+// durable sequence, the origin term of its newest record (the
+// up-to-dateness key elections compare), and the address of the leader
+// it currently follows ("" when it follows none).
+type PeerState struct {
+	Term   uint64
+	Seq    uint64
+	Orig   uint64
+	Leader string
+}
+
+// Probe asks the replica serving conn for its durable term and log
+// position without claiming or adopting anything. A starting primary
+// probes every reachable peer and claims strictly more than the
+// maximum term it sees (and its own stored one), which is what makes
+// terms unique: a deposed primary restarting cannot re-claim a term
+// its successors already hold. Elections additionally compare the
+// returned origin term and sequence to find the most-up-to-date
+// candidate. The clock supplies the I/O deadline (nil = real time).
+func Probe(conn net.Conn, timeout time.Duration, clock serve.Clock) (PeerState, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	conn.SetDeadline(time.Now().Add(timeout))
+	if clock == nil {
+		clock = serve.RealClock{}
+	}
+	conn.SetDeadline(clock.Now().Add(timeout))
 	defer conn.SetDeadline(time.Time{})
 	if err := WriteFrame(conn, Frame{Type: FrameProbe}); err != nil {
-		return 0, 0, err
+		return PeerState{}, err
 	}
 	f, err := ReadFrame(conn)
 	if err != nil {
-		return 0, 0, err
+		return PeerState{}, err
 	}
 	if f.Type != FrameState {
-		return 0, 0, &FrameError{Reason: "probe",
+		return PeerState{}, &FrameError{Reason: "probe",
 			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.Type)}
 	}
-	return f.Term, f.Seq, nil
+	return PeerState{Term: f.Term, Seq: f.Seq, Orig: f.Orig, Leader: string(f.Payload)}, nil
+}
+
+// ProbeState is Probe reduced to the term-discovery pair a starting
+// primary needs.
+func ProbeState(conn net.Conn, timeout time.Duration) (term, seq uint64, err error) {
+	st, err := Probe(conn, timeout, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Term, st.Seq, nil
 }
 
 // Replicate ships the batch at seq to every live follower — catching
@@ -444,7 +538,7 @@ func (p *Primary) sendRecord(fc *followerConn, seq uint64, payload []byte, catch
 
 // readFrame reads one frame from the follower under the ack deadline.
 func (p *Primary) readFrame(fc *followerConn) (Frame, error) {
-	fc.conn.SetReadDeadline(time.Now().Add(p.cfg.AckTimeout))
+	fc.conn.SetReadDeadline(p.cfg.Clock.Now().Add(p.cfg.AckTimeout))
 	f, err := ReadFrame(fc.conn)
 	fc.conn.SetReadDeadline(time.Time{})
 	return f, err
@@ -456,7 +550,7 @@ func (p *Primary) readFrame(fc *followerConn) (Frame, error) {
 // Ingest and the whole serve loop — indefinitely. On timeout the
 // caller drops the follower, mirroring a missed ack.
 func (p *Primary) writeFrame(fc *followerConn, f Frame) error {
-	fc.conn.SetWriteDeadline(time.Now().Add(p.cfg.AckTimeout))
+	fc.conn.SetWriteDeadline(p.cfg.Clock.Now().Add(p.cfg.AckTimeout))
 	err := WriteFrame(fc.conn, f)
 	fc.conn.SetWriteDeadline(time.Time{})
 	return err

@@ -218,10 +218,13 @@ func TestDivergedFollowerAutoReseeded(t *testing.T) {
 	if prim.Followers() != 1 {
 		t.Fatalf("reseeded follower not attached (%d followers)", prim.Followers())
 	}
-	// The newest checkpoint covered seq 3 (CheckpointEvery=3, 5 ingests),
-	// so A must now sit exactly there with the shipped ledger.
-	if fa.Seq() != 3 {
-		t.Fatalf("follower at seq %d after install, want 3", fa.Seq())
+	// The newest checkpoint covered seq 3 (CheckpointEvery=3, 5 ingests);
+	// attach installs it and then ships the remaining log in the same
+	// breath, so A surfaces already caught up to the primary's end. The
+	// chunk counters below prove the prefix travelled as a snapshot, not
+	// replayed records.
+	if fa.Seq() != 5 {
+		t.Fatalf("follower at seq %d after attach, want 5", fa.Seq())
 	}
 
 	pipe.SetReplicator(prim)
@@ -308,9 +311,10 @@ func TestLateJoinerReseededPastRetention(t *testing.T) {
 		t.Fatalf("late joiner past retention: %v", err)
 	}
 	// Newest checkpoint covers seq 6 (every 3, 8 ingests); the joiner
-	// installed it and must be acknowledged there before any catch-up.
-	if got := prim.Acked(); len(got) != 1 || got[0] != 6 {
-		t.Fatalf("acked after reseed = %v, want [6]", got)
+	// installs it and attach-time catch-up serves 7..8 from the log, so
+	// it is acknowledged at the primary's end before any new traffic.
+	if got := prim.Acked(); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("acked after reseed = %v, want [8]", got)
 	}
 
 	pipe.SetReplicator(prim)

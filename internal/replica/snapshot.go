@@ -432,7 +432,7 @@ func (f *Follower) installSnapshot(conn net.Conn, seq uint64, offer snapOffer, p
 	if err := SaveTermState(f.fs, f.dir, adopted); err != nil {
 		return fmt.Errorf("%w: resetting term ledger: %w", ErrReseedAborted, err)
 	}
-	f.state = adopted
+	f.setState(adopted)
 	f.fs.Remove(f.dir + "/" + reseedMarkName) // the partial is already renamed away
 	f.fs.SyncDir(f.dir)
 	f.col.Inc(stats.CtrReplReseedInstalls)

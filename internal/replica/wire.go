@@ -18,8 +18,9 @@ import (
 )
 
 // Frame types. The protocol is deliberately small: one handshake pair,
-// one data frame, one ack, one refusal, a probe pair, and a
-// three-frame snapshot transfer for reseeding.
+// one data frame, one ack, one refusal, a probe pair, a three-frame
+// snapshot transfer for reseeding, a liveness heartbeat, and a
+// client-ingestion pair for leader-routed submission.
 const (
 	// FrameHello opens a session, primary → follower: Term is the
 	// primary's claim of authority, Seq is unused.
@@ -67,6 +68,27 @@ const (
 	// file against the offered checksum, installs it atomically, and
 	// acks with the installed sequence — or rejects a corrupt file.
 	FrameSnapDone = 10
+	// FrameHeartbeat asserts liveness, primary → follower: Term is the
+	// primary's authority claim, Seq its committed log end. It carries
+	// no payload and is never acknowledged — its only job is to renew
+	// the follower's lease so elections stay quiet while the primary
+	// breathes. A follower holding a newer term answers Reject, which
+	// fences the sender at its next read.
+	FrameHeartbeat = 11
+	// FrameClientHello opens an ingestion session, client → node. The
+	// leader answers FrameWelcome with Seq = its durable sequence (the
+	// client resumes submitting past it); a non-leader answers
+	// FrameReject whose payload is the leader's advertised address —
+	// the redirect hint client failover follows.
+	FrameClientHello = 12
+	// FrameSubmit carries one update batch, client → leader: Seq is the
+	// client's 1-based batch index (the single writer's indices coincide
+	// with WAL sequences), the payload its EncodeBatch bytes. The leader
+	// answers FrameAck at its durable sequence once the batch is
+	// quorum-durable, re-acks duplicates without re-applying, and
+	// answers FrameReject (with redirect hint) when it is not — or no
+	// longer — the leader.
+	FrameSubmit = 13
 )
 
 const (
@@ -152,7 +174,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	plen := binary.LittleEndian.Uint32(hdr[29:33])
 	wantCRC := binary.LittleEndian.Uint32(hdr[33:37])
-	if f.Type < FrameHello || f.Type > FrameSnapDone {
+	if f.Type < FrameHello || f.Type > FrameSubmit {
 		return Frame{}, &FrameError{Reason: "bad type",
 			Err: fmt.Errorf("%w: type %d", ErrBadFrame, f.Type)}
 	}

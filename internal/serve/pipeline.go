@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	tdgraph "github.com/tdgraph/tdgraph"
 	"github.com/tdgraph/tdgraph/internal/graph"
@@ -138,7 +139,10 @@ type Pipeline struct {
 	sess *tdgraph.Session
 	log  *wal.Log
 	ck   *tdgraph.Checkpointer
-	seq  uint64 // last ingested (or replayed) sequence
+	// seq is the last ingested (or replayed) sequence. It is written
+	// only by the single ingesting goroutine but read concurrently by
+	// replication probe answers, hence atomic.
+	seq  atomic.Uint64
 	col  *stats.Collector
 	repl Replicator
 
@@ -165,7 +169,8 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 			if derr != nil {
 				return nil, derr
 			}
-			p.sess, p.seq = sess, seq
+			p.sess = sess
+			p.seq.Store(seq)
 			for range skipped {
 				p.col.Inc(stats.CtrCheckpointRecovered)
 			}
@@ -177,7 +182,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 			return nil, fmt.Errorf("serve: bootstrap: %w", err)
 		}
 		p.sess = sess
-		p.seq = 0
+		p.seq.Store(0)
 	}
 
 	// Rung 2: open the WAL, repairing any torn tail.
@@ -195,13 +200,13 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	// every checkpoint generation was unrecoverable but retention had
 	// already truncated past them, say — the prefix is gone for good,
 	// and serving would silently compute wrong state. Fail loudly.
-	if first := l.FirstSeq(); first > p.seq+1 {
+	if first := l.FirstSeq(); first > p.seq.Load()+1 {
 		return nil, fmt.Errorf("%w: restored state covers seq %d but the oldest retained WAL record is seq %d; updates %d..%d are unrecoverable",
-			ErrRecoveryGap, p.seq, first, p.seq+1, first-1)
+			ErrRecoveryGap, p.seq.Load(), first, p.seq.Load()+1, first-1)
 	}
 
 	// Rung 3: replay every durable batch the checkpoint doesn't cover.
-	err = l.Replay(p.seq+1, func(seq uint64, batch []graph.Update) error {
+	err = l.Replay(p.seq.Load()+1, func(seq uint64, batch []graph.Update) error {
 		p.applyLogged(seq, batch)
 		p.col.Inc(stats.CtrWALReplayed)
 		return nil
@@ -209,8 +214,8 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	if last := l.LastSeq(); last > p.seq {
-		p.seq = last
+	if last := l.LastSeq(); last > p.seq.Load() {
+		p.seq.Store(last)
 	}
 	return p, nil
 }
@@ -219,7 +224,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 func (p *Pipeline) Session() *tdgraph.Session { return p.sess }
 
 // Seq returns the last ingested sequence.
-func (p *Pipeline) Seq() uint64 { return p.seq }
+func (p *Pipeline) Seq() uint64 { return p.seq.Load() }
 
 // Collector returns the pipeline's counter set.
 func (p *Pipeline) Collector() *stats.Collector { return p.col }
@@ -264,7 +269,7 @@ func (p *Pipeline) applyLogged(seq uint64, batch []graph.Update) {
 // log. With a Replicator, a nil return means the batch is durable on a
 // quorum of replicas, not just this disk.
 func (p *Pipeline) Ingest(batch []graph.Update) error {
-	seq := p.seq + 1
+	seq := p.seq.Load() + 1
 	if err := p.log.Append(seq, batch); err != nil {
 		stage := "wal"
 		var nd *wal.NotDurableError
@@ -277,7 +282,7 @@ func (p *Pipeline) Ingest(batch []graph.Update) error {
 		}
 		return &IngestError{Seq: seq, Stage: stage, Err: err}
 	}
-	p.seq = seq
+	p.seq.Store(seq)
 	p.col.Inc(stats.CtrWALAppends)
 	if p.repl != nil {
 		if err := p.repl.Replicate(seq, batch); err != nil {
@@ -298,9 +303,9 @@ func (p *Pipeline) Ingest(batch []graph.Update) error {
 // always means "durable here and applied through the same code path
 // recovery replays".
 func (p *Pipeline) IngestReplicated(seq uint64, batch []graph.Update) error {
-	if seq != p.seq+1 {
+	if seq != p.seq.Load()+1 {
 		return &IngestError{Seq: seq, Stage: "wal",
-			Err: fmt.Errorf("replicated batch seq %d does not follow local seq %d", seq, p.seq)}
+			Err: fmt.Errorf("replicated batch seq %d does not follow local seq %d", seq, p.seq.Load())}
 	}
 	if err := p.log.Append(seq, batch); err != nil {
 		stage := "wal"
@@ -310,7 +315,7 @@ func (p *Pipeline) IngestReplicated(seq uint64, batch []graph.Update) error {
 		}
 		return &IngestError{Seq: seq, Stage: stage, Err: err}
 	}
-	p.seq = seq
+	p.seq.Store(seq)
 	p.col.Inc(stats.CtrWALAppends)
 	return p.applyIngested(seq, batch)
 }
@@ -344,7 +349,7 @@ func (p *Pipeline) Checkpoint() error {
 	if err := p.log.Sync(); err != nil {
 		return err
 	}
-	if err := p.ck.SaveWithMeta(p.sess, encodeSeqMeta(p.seq)); err != nil {
+	if err := p.ck.SaveWithMeta(p.sess, encodeSeqMeta(p.seq.Load())); err != nil {
 		return err
 	}
 	p.sinceCkpt = 0
@@ -358,7 +363,7 @@ func (p *Pipeline) Checkpoint() error {
 	// from the log, which is what lets retention advance past shipped
 	// checkpoints at all instead of pinning the log to the slowest
 	// replica forever.
-	oldest := p.seq
+	oldest := p.seq.Load()
 	for _, m := range p.ck.Metas() {
 		if m == nil {
 			continue
@@ -419,7 +424,7 @@ func (p *Pipeline) InstallSnapshot(tmpPath string, meta []byte) (uint64, error) 
 	}
 	p.sess.Close() // quiesce: park the replaced engine's worker pool
 	p.sess = sess
-	p.seq = seq
+	p.seq.Store(seq)
 	p.sinceCkpt = 0
 	p.syncWALStats()
 	return seq, nil

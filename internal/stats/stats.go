@@ -1,19 +1,24 @@
 // Package stats provides lightweight event counters and derived metrics
 // shared by every engine, accelerator model, and the architectural
-// simulator. Counters are plain uint64 registers grouped in a Collector;
-// they are deliberately not synchronized — the simulator is deterministic
-// and single-goroutine per run, and native parallel paths keep per-worker
-// collectors that are merged at a barrier.
+// simulator. Counters are plain uint64 registers grouped in a Collector
+// behind a mutex: the simulator is single-goroutine per run (so the lock
+// is always uncontended there, and native parallel paths still keep
+// per-worker collectors merged at a barrier), but the serving stack bumps
+// one collector from its role loop, replication sessions, and client
+// handlers at once and needs the synchronization.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Collector is a named set of monotonically increasing counters.
+// Collector is a named set of monotonically increasing counters. Safe
+// for concurrent use.
 type Collector struct {
+	mu       sync.Mutex
 	counters map[string]uint64
 	order    []string
 }
@@ -25,43 +30,56 @@ func NewCollector() *Collector {
 
 // Add increments the named counter by delta, creating it on first use.
 func (c *Collector) Add(name string, delta uint64) {
+	c.mu.Lock()
 	if _, ok := c.counters[name]; !ok {
 		c.order = append(c.order, name)
 	}
 	c.counters[name] += delta
+	c.mu.Unlock()
 }
 
 // Inc increments the named counter by one.
 func (c *Collector) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the counter value (zero if never touched).
-func (c *Collector) Get(name string) uint64 { return c.counters[name] }
+func (c *Collector) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
 
 // Set overwrites the counter value. Used when folding externally computed
 // totals (e.g. a merged per-worker sum) into a collector.
 func (c *Collector) Set(name string, v uint64) {
+	c.mu.Lock()
 	if _, ok := c.counters[name]; !ok {
 		c.order = append(c.order, name)
 	}
 	c.counters[name] = v
+	c.mu.Unlock()
 }
 
 // Merge adds every counter of other into c.
 func (c *Collector) Merge(other *Collector) {
-	for _, name := range other.order {
-		c.Add(name, other.counters[name])
+	names, snap := other.Names(), other.Snapshot()
+	for _, name := range names {
+		c.Add(name, snap[name])
 	}
 }
 
 // Reset zeroes all counters but keeps their registration order.
 func (c *Collector) Reset() {
+	c.mu.Lock()
 	for k := range c.counters {
 		c.counters[k] = 0
 	}
+	c.mu.Unlock()
 }
 
 // Names returns the counter names in first-use order.
 func (c *Collector) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.order))
 	copy(out, c.order)
 	return out
@@ -69,6 +87,8 @@ func (c *Collector) Names() []string {
 
 // Snapshot returns a copy of the current counter values.
 func (c *Collector) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]uint64, len(c.counters))
 	for k, v := range c.counters {
 		out[k] = v
@@ -78,6 +98,8 @@ func (c *Collector) Snapshot() map[string]uint64 {
 
 // Ratio returns num/den as a float, or 0 when the denominator is zero.
 func (c *Collector) Ratio(num, den string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d := c.counters[den]
 	if d == 0 {
 		return 0
@@ -87,11 +109,15 @@ func (c *Collector) Ratio(num, den string) float64 {
 
 // String renders the counters sorted by name, one per line.
 func (c *Collector) String() string {
-	names := c.Names()
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "%-40s %d\n", n, c.counters[n])
+		fmt.Fprintf(&b, "%-40s %d\n", n, snap[n])
 	}
 	return b.String()
 }
@@ -220,6 +246,13 @@ const (
 	CtrReplReseedResumes   = "repl.reseed_resumes"   // transfers resumed from a partial offset
 	CtrReplReseedInstalls  = "repl.reseed_installs"  // snapshots installed by followers
 	CtrReplReseedAborts    = "repl.reseed_aborts"    // transfers that failed before install
+
+	// Self-driving cluster events (internal/replica.Node).
+	CtrReplHeartbeatsSent   = "repl.heartbeats_sent"   // heartbeat frames shipped to followers
+	CtrReplHeartbeatsMissed = "repl.heartbeats_missed" // lease expiries: the primary went silent
+	CtrReplElections        = "repl.elections"         // election rounds entered after a timeout
+	CtrReplDemotions        = "repl.demotions"         // primaries that stepped down (fenced or isolated)
+	CtrReplRedirects        = "repl.redirects"         // client submissions redirected to the leader
 )
 
 // Series is an ordered list of labelled float values — one bar group or one
