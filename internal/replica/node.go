@@ -135,6 +135,13 @@ type Node struct {
 	// the opposite order).
 	pmu     sync.Mutex
 	primary *Primary
+	// ackedSeq is the quorum-acknowledged prefix of the log: the
+	// highest sequence a client may be told is durable. Ingest advances
+	// the pipeline's sequence at the local WAL append, *before* quorum
+	// replication, so the two differ exactly when the log holds a tail
+	// no quorum ever confirmed — a tail that must never be advertised
+	// in a Welcome or re-ack. Guarded by pmu.
+	ackedSeq uint64
 
 	// mu guards the cheap control state below.
 	mu         sync.Mutex
@@ -145,9 +152,8 @@ type Node struct {
 	rng        *rand.Rand
 	session    net.Conn // active inbound replication session
 	closed     bool
-
-	// isolatedSince tracks how long the leader has missed its quorum
-	// of heartbeat deliveries; only the Run goroutine touches it.
+	// isolatedSince is when the leader started missing its quorum of
+	// heartbeat deliveries (zero while delivery is healthy).
 	isolatedSince time.Time
 }
 
@@ -436,6 +442,11 @@ func (n *Node) becomeLeader(term uint64) {
 	})
 	n.pmu.Lock()
 	n.primary = p
+	// The election certified this log as the most current among a
+	// reachable quorum, and every batch a past leader acknowledged
+	// lives on a quorum, so the whole local log is the acknowledged
+	// prefix — the new leader commits its predecessors' entries.
+	n.ackedSeq = n.fol.Seq()
 	n.fol.Pipeline().SetReplicator(p)
 	n.pmu.Unlock()
 	n.fol.SetLeaderHint(n.cfg.Addr)
@@ -443,8 +454,8 @@ func (n *Node) becomeLeader(term uint64) {
 	n.role = RoleLeader
 	n.term = term
 	n.leaderAddr = n.cfg.Addr
-	n.mu.Unlock()
 	n.isolatedSince = time.Time{}
+	n.mu.Unlock()
 	n.cfg.OnEvent(fmt.Sprintf("elected leader at term %d (seq %d)", term, n.fol.Seq()))
 }
 
@@ -463,15 +474,11 @@ func (n *Node) leaderTick() error {
 		return err
 	}
 	if alive+1 >= n.cfg.Quorum {
-		n.isolatedSince = time.Time{}
+		n.clearIsolation()
 		return nil
 	}
 	now := n.clock.Now()
-	if n.isolatedSince.IsZero() {
-		n.isolatedSince = now
-		return nil
-	}
-	if now.Sub(n.isolatedSince) >= n.cfg.LeaseTimeout {
+	if n.isolationSpan(now) >= n.cfg.LeaseTimeout {
 		// Step down rather than serve a minority side of a partition:
 		// the majority side elects (or elected) its own leader, and our
 		// unacknowledged writes are exactly the divergence reseed heals.
@@ -482,37 +489,90 @@ func (n *Node) leaderTick() error {
 	return nil
 }
 
-// attachAndHeartbeat is the primary-locked half of a leader tick:
-// re-attach every peer that is not a live follower, then heartbeat the
-// fleet. Returns how many followers acknowledged; a fencing error
-// (this term outranked by a peer's) surfaces for the caller to demote
-// on — demote retakes the primary lock, so it cannot run here.
+// isolationSpan records, under the state lock, that this tick missed
+// the delivery quorum and returns how long the drought has lasted (zero
+// on the tick that starts it). Demotions and re-elections reset the
+// tracker from their own goroutines, hence the lock.
+func (n *Node) isolationSpan(now time.Time) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.isolatedSince.IsZero() {
+		n.isolatedSince = now
+	}
+	return now.Sub(n.isolatedSince)
+}
+
+// clearIsolation resets the heartbeat-drought tracker.
+func (n *Node) clearIsolation() {
+	n.mu.Lock()
+	n.isolatedSince = time.Time{}
+	n.mu.Unlock()
+}
+
+// attachAndHeartbeat is one leader tick's fleet maintenance: re-attach
+// every peer that is not a live follower, then heartbeat the fleet.
+// Dialing happens outside the primary lock — an unreachable peer can
+// burn a full connect timeout, and client ingestion (which needs the
+// lock) must not stall behind it — and each handshake takes the lock
+// individually, so ingest interleaves between attachments. Returns how
+// many followers acknowledged; a fencing error (this term outranked by
+// a peer's) surfaces for the caller to demote on — demote retakes the
+// primary lock, so it cannot run here.
 func (n *Node) attachAndHeartbeat() (alive int, err error) {
 	n.pmu.Lock()
-	defer n.pmu.Unlock()
 	p := n.primary
+	var missing []string
+	if p != nil {
+		for _, peer := range n.cfg.Peers {
+			if !p.HasLive(peer) {
+				missing = append(missing, peer)
+			}
+		}
+	}
+	n.pmu.Unlock()
 	if p == nil {
 		return 0, errors.New("replica: no primary installed")
 	}
-	for _, peer := range n.cfg.Peers {
-		if p.HasLive(peer) {
+	for _, peer := range missing {
+		conn, derr := n.cfg.Dial(peer)
+		if derr != nil {
 			continue
 		}
-		conn, err := n.cfg.Dial(peer)
-		if err != nil {
-			continue
-		}
-		if err := p.AddNamedFollower(peer, conn); err != nil {
-			conn.Close()
-			if errors.Is(err, serve.ErrFenced) {
-				return 0, fmt.Errorf("attaching %s: %w", peer, err)
+		if aerr := n.attachOne(p, peer, conn); aerr != nil {
+			if errors.Is(aerr, serve.ErrFenced) {
+				return 0, fmt.Errorf("attaching %s: %w", peer, aerr)
 			}
-			n.cfg.OnEvent(fmt.Sprintf("attach %s failed: %v", peer, err))
-			continue
+			n.cfg.OnEvent(fmt.Sprintf("attach %s failed: %v", peer, aerr))
 		}
-		n.cfg.OnEvent(fmt.Sprintf("attached %s at term %d", peer, p.Term()))
+	}
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if n.primary != p {
+		return 0, errors.New("replica: primary uninstalled mid-tick")
 	}
 	return p.Heartbeat(), nil
+}
+
+// attachOne hands one dialed connection to the primary under the lock,
+// re-checking that the peer did not attach (and the primary was not
+// uninstalled) while the dial ran.
+func (n *Node) attachOne(p *Primary, peer string, conn net.Conn) error {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if n.primary != p {
+		conn.Close()
+		return errors.New("replica: primary uninstalled mid-tick")
+	}
+	if p.HasLive(peer) {
+		conn.Close()
+		return nil
+	}
+	if err := p.AddNamedFollower(peer, conn); err != nil {
+		conn.Close()
+		return err
+	}
+	n.cfg.OnEvent(fmt.Sprintf("attached %s at term %d", peer, p.Term()))
+	return nil
 }
 
 // demote steps down from leading: uninstall and close the Primary,
@@ -536,9 +596,14 @@ func (n *Node) demote(reason string) {
 	if n.role == RoleLeader {
 		n.role = RoleFollower
 	}
+	if n.leaderAddr == n.cfg.Addr {
+		// Stop vouching for our own deposed leadership in probe answers
+		// and redirects; a successor (if any) overwrites this on attach.
+		n.leaderAddr = ""
+	}
 	n.leaseUntil = n.clock.Now().Add(n.cfg.LeaseTimeout)
-	n.mu.Unlock()
 	n.isolatedSince = time.Time{}
+	n.mu.Unlock()
 	n.cfg.OnEvent("demoted: " + reason)
 }
 
@@ -683,7 +748,7 @@ func (n *Node) serveClient(conn net.Conn) error {
 		return refuse()
 	}
 	pipe := n.fol.Pipeline()
-	if err := WriteFrame(conn, Frame{Type: FrameWelcome, Term: term, Seq: n.durableSeq(pipe)}); err != nil {
+	if err := WriteFrame(conn, Frame{Type: FrameWelcome, Term: term, Seq: n.durableSeq()}); err != nil {
 		return err
 	}
 	for {
@@ -720,6 +785,16 @@ func (n *Node) serveClient(conn net.Conn) error {
 			WriteFrame(conn, Frame{Type: FrameReject, Term: term, Seq: durable})
 			return &FrameError{Reason: "client session",
 				Err: fmt.Errorf("%w: submit seq %d skips durable seq %d", ErrBadFrame, fr.Seq, durable)}
+		case submitStranded:
+			// An ingest died between its local append and quorum: our WAL
+			// holds a batch no client was ever acked for, which we can
+			// neither acknowledge (the quorum never confirmed it) nor
+			// accept a retry of (re-appending would double-log it). Step
+			// down — rejoining hands the tail to the divergence reseed —
+			// and send the client to whoever leads next.
+			n.demote(fmt.Sprintf("client batch durable locally but not at quorum: %v", ierr))
+			refuse()
+			return ierr
 		}
 		if ierr != nil {
 			if errors.Is(ierr, serve.ErrFenced) {
@@ -730,8 +805,8 @@ func (n *Node) serveClient(conn net.Conn) error {
 				refuse()
 				return ierr
 			}
-			// Quorum lost or validation refusal: durable locally at worst,
-			// never acknowledged. The client retries the same index.
+			// Failed before the record reached the log: nothing is durable,
+			// nothing was acknowledged. The client retries the same index.
 			WriteFrame(conn, Frame{Type: FrameReject, Term: term, Seq: durable})
 			return ierr
 		}
@@ -748,12 +823,16 @@ func (n *Node) roleView() (Role, uint64) {
 	return n.role, n.term
 }
 
-// durableSeq reads the pipeline's durable sequence under the primary
-// lock, so it cannot interleave with a client ingest in flight.
-func (n *Node) durableSeq(pipe *serve.Pipeline) uint64 {
+// durableSeq reads the quorum-acknowledged sequence under the primary
+// lock, so it cannot interleave with a client ingest in flight. This —
+// never the pipeline's local sequence, which runs ahead of quorum — is
+// what Welcome frames and re-acks advertise: a client that is told a
+// sequence is durable skips resubmitting it forever, so the promise
+// must hold even if this leader is deposed and its tail reseeded away.
+func (n *Node) durableSeq() uint64 {
 	n.pmu.Lock()
 	defer n.pmu.Unlock()
-	return pipe.Seq()
+	return n.ackedSeq
 }
 
 // submitOutcome says what ingestSubmit did with a client batch.
@@ -761,26 +840,59 @@ type submitOutcome int
 
 const (
 	submitApplied   submitOutcome = iota // ran the pipeline; check the error
-	submitDuplicate                      // at or below the durable sequence
-	submitGap                            // skips ahead of the durable sequence
+	submitDuplicate                      // at or below the quorum-acked sequence
+	submitGap                            // skips ahead of the quorum-acked sequence
+	submitStranded                       // the log holds a tail no quorum confirmed
 )
 
 // ingestSubmit runs one client submission through the leader pipeline
 // under the primary lock: duplicate and gap detection against the
-// durable sequence, then the ordinary Ingest (WAL, fsync, quorum
-// replication). Returns the durable sequence after the call.
+// quorum-acknowledged sequence, then the ordinary Ingest (WAL, fsync,
+// quorum replication). The acknowledged sequence advances only when
+// the batch is quorum-durable — on a nil error, or on a failure
+// strictly after replication (apply/checkpoint stages) — and is what
+// the returned durable value reports. An ingest that appends locally
+// but never assembles its quorum strands the tail instead: the caller
+// must stop serving, because acking or re-ingesting past it would
+// break exactly-once.
 func (n *Node) ingestSubmit(pipe *serve.Pipeline, seq uint64, batch []graph.Update) (submitOutcome, uint64, error) {
 	n.pmu.Lock()
 	defer n.pmu.Unlock()
-	cur := pipe.Seq()
+	cur := n.ackedSeq
 	switch {
 	case seq <= cur:
 		return submitDuplicate, cur, nil
 	case seq > cur+1:
 		return submitGap, cur, nil
 	}
+	if pipe.Seq() != cur {
+		// A concurrent session already stranded a tail and its demote is
+		// still in flight; refuse rather than append past it.
+		return submitStranded, cur, fmt.Errorf(
+			"replica: seq %d durable locally but never quorum-acknowledged: %w", pipe.Seq(), ErrQuorumLost)
+	}
 	err := pipe.Ingest(batch)
-	return submitApplied, pipe.Seq(), err
+	if err == nil || quorumDurable(err) {
+		n.ackedSeq = pipe.Seq()
+		return submitApplied, n.ackedSeq, err
+	}
+	if pipe.Seq() != cur && !errors.Is(err, serve.ErrFenced) {
+		// Appended, never quorum-confirmed (ErrQuorumLost and kin). A
+		// fenced failure takes the ordinary deposed path instead — it
+		// demotes too, with the fencing term in the event trail.
+		return submitStranded, cur, err
+	}
+	return submitApplied, cur, err
+}
+
+// quorumDurable reports whether a failed Ingest nevertheless made the
+// batch quorum-durable: apply- and checkpoint-stage failures happen
+// strictly after replication succeeded, so the batch must still be
+// acknowledged — otherwise the client would resubmit a sequence the
+// cluster already holds.
+func quorumDurable(err error) bool {
+	var ie *serve.IngestError
+	return errors.As(err, &ie) && (ie.Stage == "apply" || ie.Stage == "checkpoint")
 }
 
 // Close shuts the node down: sever the active session, uninstall the

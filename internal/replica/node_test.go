@@ -10,6 +10,7 @@ import (
 
 	"github.com/tdgraph/tdgraph/internal/serve"
 	"github.com/tdgraph/tdgraph/internal/stats"
+	"github.com/tdgraph/tdgraph/internal/wal"
 )
 
 // manualClock is a waiter-aware fake clock: Sleep blocks on a condition
@@ -515,6 +516,88 @@ func TestNodeRejoinReseedsDivergedMember(t *testing.T) {
 	x.Close()
 	if !statesEqual(x.Follower().Pipeline().Session().States(), want) {
 		t.Fatal("reseeded member states diverged from the reference")
+	}
+}
+
+// TestNodeStrandedIngestNeverAcked pins the durable-prefix contract: a
+// client batch that reaches the leader's WAL but loses its replication
+// quorum must never be advertised as durable. The leader steps down on
+// the spot and the refusal (like any later Welcome from it) reports
+// only the quorum-acknowledged prefix — so the client resubmits the
+// batch to the next leader instead of counting it durable and silently
+// losing it when the stranded tail is reseeded away.
+func TestNodeStrandedIngestNeverAcked(t *testing.T) {
+	clk := newManualClock()
+	fabric := newMemNet()
+	n := newTestNode(t, fabric, "a", []string{"b", "c"}, clk)
+	defer n.Close()
+	b := newTestNode(t, fabric, "b", []string{"a", "c"}, clk)
+	defer b.Close()
+	c := newTestNode(t, fabric, "c", []string{"a", "b"}, clk)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go n.Run(ctx)
+	// Both followers durably adopting the claimed term means both
+	// replication sessions are attached and counting toward quorum.
+	driveUntil(t, clk, "leadership with both followers attached", func() bool {
+		return n.Role() == RoleLeader && b.Follower().Term() == 1 && c.Follower().Term() == 1
+	})
+
+	// Sever both followers: the next ingest appends to the local WAL,
+	// then fails to assemble its replication quorum.
+	fabric.setDown("b", true)
+	fabric.setDown("c", true)
+
+	conn, err := fabric.dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Frame{Type: FrameClientHello}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ReadFrame(conn)
+	if err != nil || fr.Type != FrameWelcome || fr.Seq != 0 {
+		t.Fatalf("handshake: %+v, %v, want a Welcome at seq 0", fr, err)
+	}
+	w := testWorkload(t, 4)
+	if err := WriteFrame(conn, Frame{Type: FrameSubmit, Seq: 1, Payload: wal.EncodeBatch(w.Batches[0])}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = ReadFrame(conn)
+	if err != nil || fr.Type != FrameReject {
+		t.Fatalf("quorum-lost submit: %+v, %v, want a refusal", fr, err)
+	}
+
+	// The batch is stranded in the WAL (log end 1) but was never
+	// acknowledged; the node must have stepped down rather than keep
+	// promising durability it cannot deliver.
+	if got := n.Follower().Seq(); got != 1 {
+		t.Fatalf("local log end = %d, want the stranded batch at 1", got)
+	}
+	if got := n.Role(); got == RoleLeader {
+		t.Fatal("leader kept serving after stranding a batch")
+	}
+	col := n.Follower().Pipeline().Collector()
+	if got := col.Get(stats.CtrReplDemotions); got != 1 {
+		t.Fatalf("demotions = %d, want 1", got)
+	}
+
+	// A reconnecting client must be refused — never Welcomed with the
+	// never-quorum-acked sequence.
+	conn2, err := fabric.dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := WriteFrame(conn2, Frame{Type: FrameClientHello}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = ReadFrame(conn2)
+	if err != nil || fr.Type != FrameReject {
+		t.Fatalf("post-demote handshake: %+v, %v, want a refusal", fr, err)
 	}
 }
 
