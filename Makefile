@@ -46,12 +46,16 @@ faults:
 # replication-aware retention deleting shipped history under live
 # followers), and the self-driving cluster trials (leader killed with
 # no operator in the loop, asymmetric partitions, isolated leader
-# healing back in — plus the election state-machine unit tests), under
-# the race detector. Proves no acknowledged batch is lost past the
-# last fsync (or quorum) barrier, that the recovered, promoted, or
-# reseeded node's vertex states are byte-identical to an uninterrupted
-# run, that deposed primaries are fenced, and that every term has at
-# most one leader.
+# healing back in — plus the election state-machine unit tests), and
+# the overload-ladder trials (WAL volume filled mid-ingest — the
+# leader degrades to read-only with typed retryable rejections and
+# resumes once space frees; a deadline storm against a slow quorum —
+# every pre-heal submission expires in flight yet completion stays
+# exactly-once), under the race detector. Proves no acknowledged batch
+# is lost past the last fsync (or quorum) barrier, that the recovered,
+# promoted, or reseeded node's vertex states are byte-identical to an
+# uninterrupted run, that deposed primaries are fenced, and that every
+# term has at most one leader.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Failover|Fenced|Reseed|Election|Node' ./internal/serve ./internal/replica
 

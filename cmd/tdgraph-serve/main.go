@@ -84,7 +84,11 @@ func main() {
 		queueCap    = flag.Int("queue", 16, "ingest queue capacity in batches")
 		admit       = flag.String("admit", "block", "admission policy when full: block | shed")
 		maxMerge    = flag.Int("max-merge", 0, "coalesced batch size cap in updates (0 = unlimited)")
+		queueBytes  = flag.Int64("queue-bytes", 0, "ingest queue byte bound in wire bytes (0 = unbounded)")
 		maxRestarts = flag.Int("max-restarts", 3, "supervisor restart budget (-1 = unlimited)")
+		slo         = flag.Duration("slo", 0, "ingest-latency objective; enables SLO-driven admission control (0 = off)")
+		diskLow     = flag.Int64("disk-low-water", 0, "free-space floor in bytes under which ingest degrades to read-only (0 = ENOSPC-only degradation)")
+		deadline    = flag.Duration("deadline", 0, "client: per-batch deadline propagated to the leader (0 = none)")
 
 		faults   = flag.String("faults", "", "seeded WAL fault spec, e.g. 'wal-torn:4096,fsync-err:2,disk-full:1048576'")
 		validate = flag.String("validate", "", "ingestion validation policy: none|reject|clamp|quarantine")
@@ -205,11 +209,14 @@ func main() {
 			CheckpointKeep:  *ckptKeep,
 			CheckpointEvery: *ckptEvery,
 			Collector:       col,
+			DiskLowWater:    uint64(*diskLow),
 		},
 		Queue: serve.QueueConfig{
 			Capacity: *queueCap, Policy: admitPolicy, MaxBatchUpdates: *maxMerge,
+			MaxBytes: *queueBytes,
 		},
 		MaxRestarts: *maxRestarts,
+		SLO:         *slo,
 	}
 	if *verbose {
 		cfg.OnEvent = func(line string) { fmt.Println("serve:", line) }
@@ -219,7 +226,7 @@ func main() {
 	defer stop()
 
 	if *role == "client" {
-		runClient(ctx, *peers, *seed, w.Batches, *verbose)
+		runClient(ctx, *peers, *seed, *deadline, w.Batches, *verbose)
 		return
 	}
 	if *role == "auto" {
@@ -230,7 +237,7 @@ func main() {
 			fmt.Printf("auto: -ckpt not set; defaulting to %s so auto-reseed can install snapshots\n",
 				cfg.Pipeline.CheckpointPath)
 		}
-		runAuto(ctx, cfg.Pipeline, *listen, *advertise, *peers, *quorum, *verbose)
+		runAuto(ctx, cfg.Pipeline, *listen, *advertise, *peers, *quorum, *slo, *verbose)
 		return
 	}
 
@@ -339,6 +346,10 @@ func main() {
 		fmt.Printf("  supervisor: restarts=%d poisoned=%d checkpoints=%d rejected=%d\n",
 			col.Get(stats.CtrServeRestarts), col.Get(stats.CtrServePoisoned),
 			col.Get(stats.CtrServeCheckpoints), col.Get(stats.CtrServeRejected))
+		fmt.Printf("  overload: slo-shed=%d slo-coalesced=%d deadline-expired=%d disk-rejects=%d readonly-entries=%d readonly-exits=%d\n",
+			col.Get(stats.CtrQueueShedSLO), col.Get(stats.CtrQueueCoalescedSLO),
+			col.Get(stats.CtrServeDeadlineExpired), col.Get(stats.CtrServeDiskPressure),
+			col.Get(stats.CtrServeReadonlyEntries), col.Get(stats.CtrServeReadonlyExits))
 		if prim != nil {
 			printReplStats(col, prim.Term())
 		}
@@ -369,6 +380,10 @@ func printReplStats(col *stats.Collector, term uint64) {
 		col.Get(stats.CtrReplHeartbeatsSent), col.Get(stats.CtrReplHeartbeatsMissed),
 		col.Get(stats.CtrReplElections), col.Get(stats.CtrReplDemotions),
 		col.Get(stats.CtrReplRedirects))
+	fmt.Printf("  overload: slo-shed=%d deadline-expired=%d disk-rejects=%d readonly-entries=%d readonly-exits=%d\n",
+		col.Get(stats.CtrQueueShedSLO), col.Get(stats.CtrServeDeadlineExpired),
+		col.Get(stats.CtrServeDiskPressure), col.Get(stats.CtrServeReadonlyEntries),
+		col.Get(stats.CtrServeReadonlyExits))
 }
 
 // runAuto runs one self-driving cluster member: a replica.Node whose
@@ -378,7 +393,7 @@ func printReplStats(col *stats.Collector, term uint64) {
 // ingestion, and everyone else replicates from it. Start every member
 // with the same -peers ring (minus itself) and point -role client at
 // any of them.
-func runAuto(ctx context.Context, pcfg serve.PipelineConfig, listen, advertise, peers string, quorum int, verbose bool) {
+func runAuto(ctx context.Context, pcfg serve.PipelineConfig, listen, advertise, peers string, quorum int, slo time.Duration, verbose bool) {
 	if listen == "" {
 		fatal(errors.New("-listen is required for -role auto"))
 	}
@@ -391,6 +406,7 @@ func runAuto(ctx context.Context, pcfg serve.PipelineConfig, listen, advertise, 
 		Dial:     dialTCP,
 		Pipeline: pcfg,
 		Quorum:   quorum,
+		SLO:      slo,
 	}
 	if verbose {
 		ncfg.OnEvent = func(line string) { fmt.Println("node:", line) }
@@ -436,12 +452,12 @@ func runAuto(ctx context.Context, pcfg serve.PipelineConfig, listen, advertise, 
 // Acked batches stay exactly-once across failovers: every Welcome
 // (and ack) names the durable prefix, and the client resubmits only
 // past it.
-func runClient(ctx context.Context, peers string, seed int64, batches [][]graph.Update, verbose bool) {
+func runClient(ctx context.Context, peers string, seed int64, deadline time.Duration, batches [][]graph.Update, verbose bool) {
 	nodes := splitAddrs(peers)
 	if len(nodes) == 0 {
 		fatal(errors.New("-peers is required for -role client: the cluster addresses to submit to"))
 	}
-	ccfg := replica.ClientConfig{Nodes: nodes, Dial: dialTCP, Seed: seed}
+	ccfg := replica.ClientConfig{Nodes: nodes, Dial: dialTCP, Seed: seed, BatchDeadline: deadline}
 	if verbose {
 		ccfg.OnEvent = func(line string) { fmt.Println("client:", line) }
 	}

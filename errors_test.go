@@ -215,6 +215,66 @@ func TestErrorWrappingContracts(t *testing.T) {
 			},
 		},
 		{
+			name: "deadline expiry keeps its stage through the ingest chain",
+			err: &serve.IngestError{Seq: 14, Stage: "replicate",
+				Err: fmt.Errorf("2 of 3 acks when the batch deadline expired: %w",
+					serve.NewDeadlineError("replicate"))},
+			is: []error{serve.ErrDeadline},
+			as: func(err error) bool {
+				var de *serve.DeadlineError
+				var ie *serve.IngestError
+				// Retryable by design: a deadline is a budget event, never a
+				// fencing or a quorum-health verdict.
+				return errors.As(err, &de) && de.Stage == "replicate" &&
+					errors.As(err, &ie) && ie.Durable() &&
+					!errors.Is(err, serve.ErrFenced) &&
+					!errors.Is(err, replica.ErrQuorumLost)
+			},
+		},
+		{
+			name: "admit-stage deadline refusal is non-durable",
+			err:  &serve.IngestError{Seq: 15, Stage: "admit", Err: serve.NewDeadlineError("admit")},
+			is:   []error{serve.ErrDeadline},
+			as: func(err error) bool {
+				var ie *serve.IngestError
+				return errors.As(err, &ie) && !ie.Durable()
+			},
+		},
+		{
+			name: "disk pressure keeps the ENOSPC cause through admit",
+			err: &serve.IngestError{Seq: 16, Stage: "admit",
+				Err: fmt.Errorf("%w: %w",
+					&serve.DiskPressureError{Op: "append", LowWater: 4096},
+					fmt.Errorf("append: %w", wal.ErrNoSpace))},
+			is: []error{serve.ErrDiskPressure, wal.ErrNoSpace},
+			as: func(err error) bool {
+				var dpe *serve.DiskPressureError
+				var ie *serve.IngestError
+				return errors.As(err, &dpe) && dpe.Op == "append" &&
+					errors.As(err, &ie) && !ie.Durable()
+			},
+		},
+		{
+			name: "busy reject for disk reads as disk pressure with a hint",
+			err:  fmt.Errorf("submit: %w", &replica.BusyError{Reason: "disk", RetryAfter: 250 * 1e6}),
+			is:   []error{serve.ErrDiskPressure},
+			as: func(err error) bool {
+				var be *replica.BusyError
+				// The hint must survive wrapping: RetrySource floors its
+				// backoff at it. And a busy leader is NOT a redirect.
+				return errors.As(err, &be) && be.RetryAfterHint() > 0 &&
+					!errors.Is(err, replica.ErrNotLeader)
+			},
+		},
+		{
+			name: "busy reject for SLO pressure reads as shed",
+			err:  fmt.Errorf("submit: %w", &replica.BusyError{Reason: "slo", RetryAfter: 1e6}),
+			is:   []error{serve.ErrShed},
+			as: func(err error) bool {
+				return !errors.Is(err, serve.ErrDiskPressure)
+			},
+		},
+		{
 			name: "redirect carries the leader hint behind ErrNotLeader",
 			err:  fmt.Errorf("submit: %w", &replica.RedirectError{Leader: "beta:7400"}),
 			is:   []error{replica.ErrNotLeader},

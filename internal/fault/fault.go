@@ -67,6 +67,20 @@ const (
 	// DiskFull fails WAL writes outright after a global byte budget
 	// (param: bytes before the disk fills). Armed through Injector.FS.
 	DiskFull Class = "disk-full"
+	// NoSpace models a volume with finite capacity (param: capacity in
+	// bytes): writes consume it, removing a file credits its bytes back
+	// (so compaction genuinely frees space), and a write that does not
+	// fit fails with ENOSPC semantics — an error wrapping both
+	// ErrInjected and wal.ErrNoSpace, persisting nothing. Unlike
+	// DiskFull the condition is recoverable: retention, Remove, or
+	// DiskSpacer.AddDiskSpace can free room. Armed through Injector.FS.
+	NoSpace Class = "enospc"
+	// LowSpace arms the free-space probe only (param: capacity in
+	// bytes): the FS reports capacity-minus-written through
+	// wal.FreeSpacer so pressure ladders trip, but writes never fail.
+	// Combine with NoSpace to also enforce the capacity. Armed through
+	// Injector.FS.
+	LowSpace Class = "low-space"
 	// PartialSeg drops the tail of a serialised WAL segment (param:
 	// fraction removed), the on-disk shape of a half-flushed segment.
 	PartialSeg Class = "wal-partial"
@@ -110,7 +124,7 @@ const (
 var Classes = []Class{
 	Corrupt, Duplicate, Reorder, OutOfRange, BadWeight, SelfLoop,
 	CkptFlip, CkptTruncate, ReadErr, WriteErr, Hang, Diverge,
-	WALTorn, FsyncErr, DiskFull, PartialSeg,
+	WALTorn, FsyncErr, DiskFull, NoSpace, LowSpace, PartialSeg,
 	NetDrop, NetDelay, NetDup, NetReorder, NetPartition, NetTrunc,
 	NetPartitionRecv, NetHeal,
 }
@@ -133,6 +147,8 @@ var defaultParam = map[Class]float64{
 	WALTorn:      256,
 	FsyncErr:     2,
 	DiskFull:     1024,
+	NoSpace:      4096,
+	LowSpace:     4096,
 	PartialSeg:   0.25,
 	NetDrop:      0.05,
 	NetDelay:     1,

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,8 +27,14 @@ import (
 //     to the boundary, then fails — a torn record mid-write.
 //   - FsyncErr: after Param(fsync-err) successful Syncs, Sync fails
 //     with an error wrapping ErrInjected.
+//   - NoSpace / LowSpace: the FS models a volume of Param bytes. Writes
+//     consume capacity and Remove credits a file's bytes back. With
+//     NoSpace armed, a write that does not fit fails wrapping both
+//     ErrInjected and wal.ErrNoSpace (persisting nothing); with only
+//     LowSpace armed, writes always succeed but the wal.FreeSpacer
+//     probe reports the shrinking capacity so pressure ladders trip.
 //
-// Reads, listing and removal pass through untouched.
+// Reads, listing pass through untouched.
 func (in *Injector) FS(base wal.FS) wal.FS {
 	f := &faultFS{FS: base, in: in}
 	if limit, ok := in.armed[DiskFull]; ok {
@@ -39,7 +46,25 @@ func (in *Injector) FS(base wal.FS) wal.FS {
 	if n, ok := in.armed[FsyncErr]; ok {
 		f.syncBudget, f.haveSync = int(n), true
 	}
+	if capBytes, ok := in.armed[NoSpace]; ok {
+		f.capacity, f.haveCap, f.enospc = int64(capBytes), true, true
+		f.fileBytes = make(map[string]int64)
+	}
+	if capBytes, ok := in.armed[LowSpace]; ok {
+		if !f.haveCap {
+			f.capacity, f.haveCap = int64(capBytes), true
+			f.fileBytes = make(map[string]int64)
+		}
+	}
 	return f
+}
+
+// DiskSpacer adjusts a fault FS's simulated volume capacity at runtime —
+// the chaos suites' "operator frees (or consumes) space" lever. The FS
+// returned by Injector.FS implements it when NoSpace or LowSpace is
+// armed.
+type DiskSpacer interface {
+	AddDiskSpace(delta int64)
 }
 
 type faultFS struct {
@@ -52,6 +77,69 @@ type faultFS struct {
 	full        bool // DiskFull (persist nothing at the fault) vs WALTorn (tear)
 	syncBudget  int
 	haveSync    bool
+
+	capacity  int64 // simulated free bytes (NoSpace / LowSpace)
+	haveCap   bool
+	enospc    bool // NoSpace armed: enforce the capacity, not just report it
+	fileBytes map[string]int64
+}
+
+// FreeSpace reports the simulated remaining capacity when NoSpace or
+// LowSpace is armed, and otherwise defers to the base FS's probe (or
+// reports the probe unsupported).
+func (f *faultFS) FreeSpace(dir string) (uint64, error) {
+	f.mu.Lock()
+	if f.haveCap {
+		free := f.capacity
+		f.mu.Unlock()
+		return uint64(free), nil
+	}
+	f.mu.Unlock()
+	if fsp, ok := f.FS.(wal.FreeSpacer); ok {
+		return fsp.FreeSpace(dir)
+	}
+	return 0, errors.ErrUnsupported
+}
+
+// AddDiskSpace grows (or with a negative delta shrinks) the simulated
+// capacity. No-op unless NoSpace or LowSpace is armed.
+func (f *faultFS) AddDiskSpace(delta int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.haveCap {
+		return
+	}
+	f.capacity += delta
+	if f.capacity < 0 {
+		f.capacity = 0
+	}
+}
+
+// charge books n persisted bytes against the simulated volume. Caller
+// holds f.mu.
+func (f *faultFS) charge(path string, n int) {
+	if !f.haveCap || n <= 0 {
+		return
+	}
+	f.capacity -= int64(n)
+	if f.capacity < 0 {
+		f.capacity = 0
+	}
+	f.fileBytes[path] += int64(n)
+}
+
+func (f *faultFS) Remove(path string) error {
+	err := f.FS.Remove(path)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.haveCap {
+		f.capacity += f.fileBytes[path]
+		delete(f.fileBytes, path)
+	}
+	return nil
 }
 
 func (f *faultFS) Create(path string) (wal.File, error) {
@@ -59,30 +147,40 @@ func (f *faultFS) Create(path string) (wal.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{File: file, fs: f}, nil
+	return &faultFile{File: file, fs: f, path: path}, nil
 }
 
 type faultFile struct {
 	wal.File
-	fs *faultFS
+	fs   *faultFS
+	path string
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
 	f := ff.fs
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.haveCap && f.enospc && int64(len(p)) > f.capacity {
+		f.in.count(NoSpace)
+		return 0, fmt.Errorf("fault: write needs %d bytes, %d free: %w: %w",
+			len(p), f.capacity, ErrInjected, wal.ErrNoSpace)
+	}
 	if !f.haveBudget {
-		return ff.File.Write(p)
+		n, err := ff.File.Write(p)
+		f.charge(ff.path, n)
+		return n, err
 	}
 	if int64(len(p)) <= f.writeBudget {
 		n, err := ff.File.Write(p)
 		f.writeBudget -= int64(n)
+		f.charge(ff.path, n)
 		return n, err
 	}
 	n := 0
 	if !f.full && f.writeBudget > 0 {
 		// Torn write: the prefix up to the boundary reaches the file.
 		n, _ = ff.File.Write(p[:f.writeBudget])
+		f.charge(ff.path, n)
 	}
 	f.writeBudget = 0
 	if f.full {

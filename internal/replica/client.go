@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"strings"
 	"time"
 
 	"github.com/tdgraph/tdgraph/internal/graph"
@@ -37,6 +39,36 @@ func (e *RedirectError) Error() string {
 
 func (e *RedirectError) Unwrap() error { return ErrNotLeader }
 
+// BusyError is a backpressure refusal from the leader itself: the node
+// leads the cluster but will not take this batch right now. Reason is
+// the wire marker without its bang — "disk" (read-only under disk
+// pressure) or "slo" (admission control shedding) — and RetryAfter the
+// leader's hint for when to try again. It unwraps to the serve-layer
+// sentinel matching its reason so callers keep one errors.Is check,
+// and exposes the hint through RetryAfterHint for the retry layer's
+// backoff floor.
+type BusyError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("replica: leader busy (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+func (e *BusyError) Unwrap() error {
+	switch e.Reason {
+	case "disk":
+		return serve.ErrDiskPressure
+	case "slo":
+		return serve.ErrShed
+	}
+	return nil
+}
+
+// RetryAfterHint implements the serve retry layer's backoff floor.
+func (e *BusyError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 // ClientConfig parameterises a failover-aware ingestion client.
 type ClientConfig struct {
 	// Nodes are cluster addresses to try, in order; redirects learned
@@ -46,6 +78,13 @@ type ClientConfig struct {
 	Dial func(addr string) (net.Conn, error)
 	// AckTimeout bounds one hello or submit round trip (default 5s).
 	AckTimeout time.Duration
+	// BatchDeadline, when positive, is each submission attempt's time
+	// budget: it travels in the Submit frame as remaining milliseconds
+	// so the leader can stop waiting on a stalled quorum, and it bounds
+	// the client's own round-trip wait (a local expiry surfaces
+	// *serve.DeadlineError at stage "submit"). 0 means no deadline —
+	// attempts are bounded only by AckTimeout.
+	BatchDeadline time.Duration
 	// MaxAttempts bounds tries per batch across reconnects and
 	// redirects (default 8, the RetrySource default). Exhaustion
 	// surfaces serve.ErrSourceGivenUp wrapping the last failure.
@@ -165,7 +204,15 @@ func (c *Client) submit(ctx context.Context, idx uint64, batch []graph.Update) e
 		return nil // the handshake revealed it durable; nothing to send
 	}
 	fr := Frame{Type: FrameSubmit, Seq: idx, Payload: wal.EncodeBatch(batch)}
-	c.conn.SetDeadline(c.cfg.Clock.Now().Add(c.cfg.AckTimeout))
+	wait := c.cfg.AckTimeout
+	deadlineBound := false
+	if d := c.cfg.BatchDeadline; d > 0 {
+		fr.Orig = deadlineMillis(d)
+		if d < wait {
+			wait, deadlineBound = d, true
+		}
+	}
+	c.conn.SetDeadline(c.cfg.Clock.Now().Add(wait))
 	err := WriteFrame(c.conn, fr)
 	var ans Frame
 	if err == nil {
@@ -174,6 +221,13 @@ func (c *Client) submit(ctx context.Context, idx uint64, batch []graph.Update) e
 	c.conn.SetDeadline(time.Time{})
 	if err != nil {
 		c.dropConn() // reconnect decides whether the node is still there
+		if deadlineBound && isTimeout(err) {
+			// The batch deadline, not the transport, was the binding
+			// bound: surface the typed expiry so callers can tell a
+			// blown budget from a dead leader.
+			return fmt.Errorf("replica: client: batch %d deadline (%v) expired in flight: %w",
+				idx, c.cfg.BatchDeadline, serve.NewDeadlineError("submit"))
+		}
 		return err
 	}
 	switch ans.Type {
@@ -186,6 +240,9 @@ func (c *Client) submit(ctx context.Context, idx uint64, batch []graph.Update) e
 		}
 		return fmt.Errorf("replica: client: ack at seq %d below submitted %d", ans.Seq, idx)
 	case FrameReject:
+		if ans.Orig > 0 {
+			return c.busy(ans, idx)
+		}
 		return c.redirect(ans, "submit")
 	default:
 		c.dropConn()
@@ -235,6 +292,53 @@ func (c *Client) connect() error {
 		return &FrameError{Reason: "hello answer",
 			Err: fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, ans.Type)}
 	}
+}
+
+// busy consumes a backpressure Reject (Orig > 0): the node leads the
+// cluster but refuses this batch. The session stays open — the leader
+// is healthy and the refusal is about load, not leadership — and Seq
+// still carries the durable sequence, so adopt it to avoid
+// resubmitting batches the cluster already holds. The typed error
+// carries the leader's retry-after hint, which the retry layer floors
+// its backoff at.
+func (c *Client) busy(ans Frame, idx uint64) error {
+	if ans.Seq > c.acked {
+		c.acked = ans.Seq
+	}
+	after := time.Duration(ans.Orig) * time.Millisecond
+	marker := string(ans.Payload)
+	var err error
+	switch {
+	case strings.HasPrefix(marker, "!deadline:"):
+		err = serve.NewDeadlineError(strings.TrimPrefix(marker, "!deadline:"))
+	default:
+		// "!disk", "!slo", and whatever a newer server invents: a
+		// generic busy refusal whose reason is the marker sans bang.
+		err = &BusyError{Reason: strings.TrimPrefix(marker, "!"), RetryAfter: after}
+	}
+	c.cfg.OnEvent(fmt.Sprintf("batch %d refused by %s: %v", idx, c.addr, err))
+	return err
+}
+
+// deadlineMillis encodes a remaining time budget as whole milliseconds
+// for the Submit frame, rounding sub-millisecond budgets up to 1 so a
+// tiny deadline still travels (0 on the wire means no deadline).
+func deadlineMillis(d time.Duration) uint64 {
+	ms := uint64(d / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// isTimeout reports whether err is an I/O deadline expiry rather than
+// a transport failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // redirect consumes a Reject frame: aim at the hinted leader when the

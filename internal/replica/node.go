@@ -88,6 +88,18 @@ type NodeConfig struct {
 	// Seed drives the randomized election splay (mixed with Addr so
 	// identically seeded members still splay apart).
 	Seed int64
+	// SLO is the ingest-latency objective while leading: when set, an
+	// admission controller watches each client batch's end-to-end
+	// ingest latency (WAL, fsync, quorum) and starts refusing new
+	// submissions with backpressure rejects — typed, retryable, with a
+	// retry-after hint — once latency runs sustainedly past it. 0
+	// disables SLO-driven admission control.
+	SLO time.Duration
+	// DiskRetryAfter is the retry-after hint handed to clients refused
+	// under disk pressure (default 250ms): long enough that retention
+	// advancing or an operator freeing space can make progress, short
+	// enough that recovery is noticed promptly.
+	DiskRetryAfter time.Duration
 	// Clock supplies every wall time and wait (default real time).
 	// The tdgraph-vet clock-discipline check pins this package to it.
 	Clock serve.Clock
@@ -108,6 +120,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.Quorum <= 0 {
 		c.Quorum = (len(c.Peers)+1)/2 + 1
 	}
+	if c.DiskRetryAfter <= 0 {
+		c.DiskRetryAfter = 250 * time.Millisecond
+	}
 	if c.Clock == nil {
 		c.Clock = serve.RealClock{}
 	}
@@ -127,6 +142,7 @@ type Node struct {
 	fol   *Follower
 	col   *stats.Collector
 	clock serve.Clock
+	slo   *serve.SLOController // nil unless cfg.SLO is set
 
 	// pmu serialises everything that moves the pipeline outside a
 	// replication session: client ingest, heartbeats, follower
@@ -166,6 +182,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, errors.New("replica: node needs a dialer")
 	}
 	n := &Node{cfg: cfg, clock: cfg.Clock}
+	n.slo = serve.NewSLOController(serve.SLOConfig{Target: cfg.SLO})
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Addr))
 	n.rng = rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64())))
@@ -771,7 +788,29 @@ func (n *Node) serveClient(conn net.Conn) error {
 		if err != nil {
 			return &FrameError{Reason: "submit payload", Err: err}
 		}
-		outcome, durable, ierr := n.ingestSubmit(pipe, fr.Seq, batch)
+		// SLO backpressure gate: while the admission controller is in
+		// its shedding posture, refuse before touching the pipeline so
+		// a storm of submissions cannot pile onto an already-slow
+		// quorum. The refusal is typed, retryable, and keeps the
+		// session: the leader is healthy, just saturated.
+		if n.slo.Level() >= serve.PressureShed {
+			n.col.Inc(stats.CtrQueueShedSLO)
+			if err := n.busyReject(conn, term, "!slo", n.slo.RetryAfter()); err != nil {
+				return err
+			}
+			continue
+		}
+		// A Submit's Orig is the client's remaining deadline budget in
+		// milliseconds; rebase it onto this node's clock so the quorum
+		// wait downstream is bounded without any cross-host clock
+		// agreement.
+		var deadline time.Time
+		if fr.Orig > 0 {
+			deadline = n.clock.Now().Add(time.Duration(fr.Orig) * time.Millisecond)
+		}
+		start := n.clock.Now()
+		outcome, durable, ierr := n.ingestSubmit(pipe, fr.Seq, batch, deadline)
+		n.slo.Observe(n.clock.Now().Sub(start), 0, 1)
 		switch outcome {
 		case submitDuplicate:
 			// Already durable (a retry across failover): re-ack, never
@@ -805,6 +844,27 @@ func (n *Node) serveClient(conn net.Conn) error {
 				refuse()
 				return ierr
 			}
+			var de *serve.DeadlineError
+			if errors.As(ierr, &de) {
+				// The budget expired before the record reached the log:
+				// nothing durable, nothing acknowledged, session healthy.
+				// Tell the client which stage the deadline died in and
+				// keep serving.
+				if err := n.busyReject(conn, term, "!deadline:"+de.Stage, time.Millisecond); err != nil {
+					return err
+				}
+				continue
+			}
+			if errors.Is(ierr, serve.ErrDiskPressure) {
+				// Read-only under disk pressure: refuse with the disk
+				// retry-after hint and keep the session — heartbeats and
+				// reads still flow, and ingestion resumes the moment
+				// space frees.
+				if err := n.busyReject(conn, term, "!disk", n.cfg.DiskRetryAfter); err != nil {
+					return err
+				}
+				continue
+			}
 			// Failed before the record reached the log: nothing is durable,
 			// nothing was acknowledged. The client retries the same index.
 			WriteFrame(conn, Frame{Type: FrameReject, Term: term, Seq: durable})
@@ -814,6 +874,21 @@ func (n *Node) serveClient(conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// busyReject sends a backpressure refusal on a healthy leader session.
+// Orig carries the retry-after hint in milliseconds — floored at 1,
+// since Orig 0 would read as a redirect on the wire — and Seq the
+// quorum-durable sequence so the client can still advance its acked
+// prefix. The session stays open.
+func (n *Node) busyReject(conn net.Conn, term uint64, marker string, after time.Duration) error {
+	ms := uint64(after / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return WriteFrame(conn, Frame{
+		Type: FrameReject, Term: term, Seq: n.durableSeq(), Orig: ms, Payload: []byte(marker),
+	})
 }
 
 // roleView reads the current role and term under the state lock.
@@ -855,7 +930,7 @@ const (
 // but never assembles its quorum strands the tail instead: the caller
 // must stop serving, because acking or re-ingesting past it would
 // break exactly-once.
-func (n *Node) ingestSubmit(pipe *serve.Pipeline, seq uint64, batch []graph.Update) (submitOutcome, uint64, error) {
+func (n *Node) ingestSubmit(pipe *serve.Pipeline, seq uint64, batch []graph.Update, deadline time.Time) (submitOutcome, uint64, error) {
 	n.pmu.Lock()
 	defer n.pmu.Unlock()
 	cur := n.ackedSeq
@@ -871,7 +946,7 @@ func (n *Node) ingestSubmit(pipe *serve.Pipeline, seq uint64, batch []graph.Upda
 		return submitStranded, cur, fmt.Errorf(
 			"replica: seq %d durable locally but never quorum-acknowledged: %w", pipe.Seq(), ErrQuorumLost)
 	}
-	err := pipe.Ingest(batch)
+	err := pipe.IngestDeadline(batch, deadline)
 	if err == nil || quorumDurable(err) {
 		n.ackedSeq = pipe.Seq()
 		return submitApplied, n.ackedSeq, err

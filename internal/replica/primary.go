@@ -405,16 +405,40 @@ func ProbeState(conn net.Conn, timeout time.Duration) (term, seq uint64, err err
 // (counting this primary) holds it durably. Called by the pipeline
 // with the record already in the local log.
 func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
+	return p.replicate(seq, batch, time.Time{})
+}
+
+// ReplicateDeadline implements serve.DeadlineReplicator: Replicate
+// with the quorum wait bounded by the batch deadline. The deadline is
+// checked between follower round trips only — per-operation I/O stays
+// under AckTimeout, so a tight client budget can never sever a live
+// follower session or abandon a half-read frame; the worst-case
+// overshoot is one AckTimeout past the deadline. On expiry the
+// remaining followers are skipped: if a quorum already acked, the
+// batch is durable and succeeds as usual; otherwise the failure wraps
+// *serve.DeadlineError at stage "replicate", and the caller treats the
+// locally-appended, never-quorum-confirmed tail exactly like any other
+// quorum loss.
+func (p *Primary) ReplicateDeadline(seq uint64, batch []graph.Update, deadline time.Time) error {
+	return p.replicate(seq, batch, deadline)
+}
+
+func (p *Primary) replicate(seq uint64, batch []graph.Update, deadline time.Time) error {
 	if seq > p.seq {
 		p.seq = seq // the record is already in the local log
 	}
 	payload := wal.EncodeBatch(batch)
 	acks := 1 // the primary's own log counts
+	expired := false
 	var fenced error
 	maxLag := uint64(0)
 	for _, fc := range p.followers {
 		if fc.dead {
 			continue
+		}
+		if !deadline.IsZero() && !p.cfg.Clock.Now().Before(deadline) {
+			expired = true
+			break
 		}
 		// Lag is how far this follower trailed when the batch arrived,
 		// measured before shipping closes the gap (afterwards acked has
@@ -440,6 +464,10 @@ func (p *Primary) Replicate(seq uint64, batch []graph.Update) error {
 		return fenced
 	}
 	if acks < p.cfg.Quorum {
+		if expired {
+			return fmt.Errorf("replica: %d of %d acks for seq %d when the batch deadline expired: %w",
+				acks, p.cfg.Quorum, seq, serve.NewDeadlineError("replicate"))
+		}
 		p.col.Inc(stats.CtrReplQuorumFailures)
 		return fmt.Errorf("%w: %d of %d required acks for seq %d", ErrQuorumLost, acks, p.cfg.Quorum, seq)
 	}

@@ -83,11 +83,22 @@ const (
 	FrameClientHello = 12
 	// FrameSubmit carries one update batch, client → leader: Seq is the
 	// client's 1-based batch index (the single writer's indices coincide
-	// with WAL sequences), the payload its EncodeBatch bytes. The leader
-	// answers FrameAck at its durable sequence once the batch is
-	// quorum-durable, re-acks duplicates without re-applying, and
-	// answers FrameReject (with redirect hint) when it is not — or no
-	// longer — the leader.
+	// with WAL sequences), the payload its EncodeBatch bytes, and Orig —
+	// unused by every other client frame — the batch deadline as
+	// milliseconds of remaining budget (0 = no deadline). Remaining
+	// time, not an absolute instant, so propagation never depends on
+	// clock agreement between client and leader. The leader answers
+	// FrameAck at its durable sequence once the batch is quorum-durable,
+	// re-acks duplicates without re-applying, and answers FrameReject
+	// when it cannot take the batch. Two reject shapes share the type,
+	// discriminated by Orig: Orig 0 is a redirect (payload = the
+	// leader's advertised address, the failover hint) and Orig > 0 is
+	// backpressure — the node IS the leader but refuses this batch
+	// (payload = "!deadline:<stage>", "!disk" or "!slo"), with Orig the
+	// retry-after hint in milliseconds that the client's backoff must
+	// honor. Backpressure rejects keep the session open; Seq still
+	// carries the durable sequence so the client can advance its acked
+	// prefix.
 	FrameSubmit = 13
 )
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	tdgraph "github.com/tdgraph/tdgraph"
 	"github.com/tdgraph/tdgraph/internal/graph"
@@ -39,6 +40,16 @@ type Replicator interface {
 	Replicate(seq uint64, batch []graph.Update) error
 	// Close releases the replicator's connections.
 	Close() error
+}
+
+// DeadlineReplicator is the deadline-aware extension of Replicator: a
+// quorum hook that also implements it has ReplicateDeadline called for
+// batches carrying a deadline, and must stop assembling acknowledgements
+// once the deadline passes — returning nil if quorum was already met,
+// or an error wrapping ErrDeadline if not. Reached by type assertion,
+// like RetentionAdvisor, so serve never imports the transport.
+type DeadlineReplicator interface {
+	ReplicateDeadline(seq uint64, batch []graph.Update, deadline time.Time) error
 }
 
 // RetentionAdvisor lets the replication layer narrow WAL retention: a
@@ -83,6 +94,21 @@ type PipelineConfig struct {
 	// is fatal to the pipeline — a primary that cannot reach quorum or
 	// has been fenced must stop acknowledging, not restart.
 	Replicator Replicator
+	// Clock is the time source deadline checks run on (default the real
+	// clock; tests inject a fake).
+	Clock Clock
+	// DiskLowWater enables the disk-pressure ladder: when the WAL
+	// volume's free space (via the FS's wal.FreeSpacer probe) drops
+	// below it, the pipeline first advances WAL retention and then
+	// refuses new ingest with ErrDiskPressure — read-only mode. 0 (the
+	// default) disables the probe-driven gate; a hard ENOSPC from the
+	// filesystem still degrades to read-only either way.
+	DiskLowWater uint64
+	// DiskHighWater is the resume threshold (default 2×DiskLowWater):
+	// read-only mode exits once free space climbs back above it. The
+	// gap is hysteresis — without it the pipeline would flap at the
+	// boundary.
+	DiskHighWater uint64
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -95,22 +121,30 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 	if c.Collector == nil {
 		c.Collector = stats.NewCollector()
 	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.DiskHighWater == 0 {
+		c.DiskHighWater = 2 * c.DiskLowWater
+	}
 	return c
 }
 
 // IngestError locates a pipeline failure by stage, so the supervisor
-// knows whether the batch reached the log: "wal" failures happened
-// before the record was written (the batch is nowhere and must be
-// re-sent), while "wal-sync" failures happened after the record was
-// written but before its fsync barrier completed — the bytes are in
-// the log and may survive, so re-sending would double-apply; recovery
-// (or a same-sequence retry) owns the batch instead. "apply" and
+// knows whether the batch reached the log: "admit" failures refused
+// the batch before any I/O (deadline already expired, or disk
+// pressure) and "wal" failures happened before the record was written
+// — in both the batch is nowhere and must be re-sent — while
+// "wal-sync" failures happened after the record was written but
+// before its fsync barrier completed — the bytes are in the log and
+// may survive, so re-sending would double-apply; recovery (or a
+// same-sequence retry) owns the batch instead. "apply" and
 // "checkpoint" failures happen strictly after durability (recovery
 // replays the batch from the log). errors.Is/As see through to the
 // underlying cause.
 type IngestError struct {
 	Seq   uint64
-	Stage string // "wal" | "wal-sync" | "replicate" | "apply" | "checkpoint"
+	Stage string // "admit" | "wal" | "wal-sync" | "replicate" | "apply" | "checkpoint"
 	Err   error
 }
 
@@ -122,10 +156,11 @@ func (e *IngestError) Unwrap() error { return e.Err }
 
 // Durable reports whether the failed batch's record reached the WAL
 // file when the error struck — if so, replay can resurrect it and the
-// source must NOT re-send it. Only "wal" (pre-write) failures leave
-// the batch safe to re-send; "wal-sync" failures wrote the record
-// without completing its barrier, so they count as reached.
-func (e *IngestError) Durable() bool { return e.Stage != "wal" }
+// source must NOT re-send it. Only "admit" (refused outright) and
+// "wal" (pre-write) failures leave the batch safe to re-send;
+// "wal-sync" failures wrote the record without completing its
+// barrier, so they count as reached.
+func (e *IngestError) Durable() bool { return e.Stage != "wal" && e.Stage != "admit" }
 
 // Pipeline is the synchronous durable core of the serve loop: one
 // goroutine feeds it admitted batches, and every batch is appended to
@@ -147,6 +182,15 @@ type Pipeline struct {
 	repl Replicator
 
 	sinceCkpt int
+
+	// readOnly flags disk-pressure degradation: ingest is refused,
+	// reads (and the replica layer's heartbeats) keep flowing. Written
+	// by the ingesting goroutine, read by status probes, hence atomic.
+	readOnly atomic.Bool
+	// spaceCompacted remembers that retention was already advanced for
+	// the current pressure episode — compacting again before new
+	// checkpoints exist frees nothing.
+	spaceCompacted bool
 }
 
 // NewPipeline recovers the durable state and returns a pipeline ready
@@ -269,31 +313,135 @@ func (p *Pipeline) applyLogged(seq uint64, batch []graph.Update) {
 // log. With a Replicator, a nil return means the batch is durable on a
 // quorum of replicas, not just this disk.
 func (p *Pipeline) Ingest(batch []graph.Update) error {
+	return p.IngestDeadline(batch, time.Time{})
+}
+
+// IngestDeadline is Ingest with a per-batch deadline (zero = none): the
+// batch is refused at admission when the deadline has already expired,
+// and a deadline-aware Replicator stops waiting for stragglers once it
+// passes mid-quorum. Both refusals surface as errors wrapping
+// ErrDeadline with the stage they died in; an admission refusal is
+// non-durable (nothing happened — re-send freely), a replicate-stage
+// expiry is durable-class like any other quorum failure.
+func (p *Pipeline) IngestDeadline(batch []graph.Update, deadline time.Time) error {
 	seq := p.seq.Load() + 1
-	if err := p.log.Append(seq, batch); err != nil {
-		stage := "wal"
-		var nd *wal.NotDurableError
-		if errors.As(err, &nd) {
-			// The record is in the log file; only its fsync barrier (or
-			// rotation) failed. Re-sending it as a new sequence would
-			// double-apply it on replay, so the supervisor must restart
-			// and recover instead.
-			stage = "wal-sync"
-		}
-		return &IngestError{Seq: seq, Stage: stage, Err: err}
+	if dpe := p.checkDiskPressure(); dpe != nil {
+		p.col.Inc(stats.CtrServeDiskPressure)
+		return &IngestError{Seq: seq, Stage: "admit", Err: dpe}
 	}
+	if !deadline.IsZero() && !p.cfg.Clock.Now().Before(deadline) {
+		p.col.Inc(stats.CtrServeDeadlineExpired)
+		return &IngestError{Seq: seq, Stage: "admit", Err: &DeadlineError{Stage: "admit"}}
+	}
+	if err := p.log.Append(seq, batch); err != nil {
+		return p.walIngestError(seq, err)
+	}
+	p.appendSucceeded()
 	p.seq.Store(seq)
 	p.col.Inc(stats.CtrWALAppends)
 	if p.repl != nil {
-		if err := p.repl.Replicate(seq, batch); err != nil {
+		var rerr error
+		if dr, ok := p.repl.(DeadlineReplicator); ok && !deadline.IsZero() {
+			rerr = dr.ReplicateDeadline(seq, batch, deadline)
+		} else {
+			rerr = p.repl.Replicate(seq, batch)
+		}
+		if rerr != nil {
 			// Locally durable but not quorum-durable. The stage is
 			// durable-class (replay may resurrect the batch) and fatal:
 			// restarting would not restore quorum, and a fenced primary
 			// (errors.Is(err, ErrFenced)) must never ack again.
-			return &IngestError{Seq: seq, Stage: "replicate", Err: err}
+			if errors.Is(rerr, ErrDeadline) {
+				p.col.Inc(stats.CtrServeDeadlineExpired)
+			}
+			return &IngestError{Seq: seq, Stage: "replicate", Err: rerr}
 		}
 	}
 	return p.applyIngested(seq, batch)
+}
+
+// ReadOnly reports whether the pipeline is refusing ingest under disk
+// pressure. Reads, heartbeats and replication probes keep flowing.
+func (p *Pipeline) ReadOnly() bool { return p.readOnly.Load() }
+
+// checkDiskPressure is the admission rung of the degradation ladder.
+// Below DiskLowWater it first advances WAL retention (compaction may
+// free real space, once per episode), then enters read-only and
+// returns a *DiskPressureError; once read-only, it holds until free
+// space clears DiskHighWater. Disabled when no low-water mark or no
+// free-space probe is configured.
+func (p *Pipeline) checkDiskPressure() *DiskPressureError {
+	low, high := p.cfg.DiskLowWater, p.cfg.DiskHighWater
+	if low == 0 {
+		return nil
+	}
+	free, ok := p.log.FreeSpace()
+	if !ok {
+		return nil
+	}
+	if p.readOnly.Load() {
+		if free >= high {
+			p.readOnly.Store(false)
+			p.spaceCompacted = false
+			p.col.Inc(stats.CtrServeReadonlyExits)
+			return nil
+		}
+	} else if free >= low {
+		p.spaceCompacted = false
+		return nil
+	} else {
+		if !p.spaceCompacted {
+			p.spaceCompacted = true
+			_ = p.advanceRetention() // best effort: freeing needs no new writes
+			if free, ok = p.log.FreeSpace(); ok && free >= low {
+				return nil
+			}
+		}
+		p.readOnly.Store(true)
+		p.col.Inc(stats.CtrServeReadonlyEntries)
+	}
+	return &DiskPressureError{Op: "admit", Free: free, LowWater: low}
+}
+
+// walIngestError classifies an Append failure. ENOSPC is special: the
+// record never persisted (the log repaired its tail), so instead of
+// letting the supervisor burn retries and poison the batch, the
+// pipeline advances retention once, enters read-only, and returns a
+// retryable error wrapping ErrDiskPressure.
+func (p *Pipeline) walIngestError(seq uint64, err error) error {
+	var nd *wal.NotDurableError
+	if errors.As(err, &nd) {
+		// The record is in the log file; only its fsync barrier (or
+		// rotation) failed. Re-sending it as a new sequence would
+		// double-apply it on replay, so the supervisor must restart
+		// and recover instead.
+		return &IngestError{Seq: seq, Stage: "wal-sync", Err: err}
+	}
+	if wal.IsNoSpace(err) {
+		if !p.spaceCompacted {
+			p.spaceCompacted = true
+			_ = p.advanceRetention()
+		}
+		if !p.readOnly.Load() {
+			p.readOnly.Store(true)
+			p.col.Inc(stats.CtrServeReadonlyEntries)
+		}
+		p.col.Inc(stats.CtrServeDiskPressure)
+		free, _ := p.log.FreeSpace()
+		return &IngestError{Seq: seq, Stage: "admit",
+			Err: fmt.Errorf("%w: %w", &DiskPressureError{Op: "append", Free: free, LowWater: p.cfg.DiskLowWater}, err)}
+	}
+	return &IngestError{Seq: seq, Stage: "wal", Err: err}
+}
+
+// appendSucceeded clears ENOSPC-driven read-only mode: with no probe
+// configured, a write that fits again IS the free-space signal.
+func (p *Pipeline) appendSucceeded() {
+	p.spaceCompacted = false
+	if p.cfg.DiskLowWater == 0 && p.readOnly.Load() {
+		p.readOnly.Store(false)
+		p.col.Inc(stats.CtrServeReadonlyExits)
+	}
 }
 
 // IngestReplicated is the follower-side twin of Ingest: it applies a
@@ -308,13 +456,9 @@ func (p *Pipeline) IngestReplicated(seq uint64, batch []graph.Update) error {
 			Err: fmt.Errorf("replicated batch seq %d does not follow local seq %d", seq, p.seq.Load())}
 	}
 	if err := p.log.Append(seq, batch); err != nil {
-		stage := "wal"
-		var nd *wal.NotDurableError
-		if errors.As(err, &nd) {
-			stage = "wal-sync"
-		}
-		return &IngestError{Seq: seq, Stage: stage, Err: err}
+		return p.walIngestError(seq, err)
 	}
+	p.appendSucceeded()
 	p.seq.Store(seq)
 	p.col.Inc(stats.CtrWALAppends)
 	return p.applyIngested(seq, batch)
@@ -330,6 +474,14 @@ func (p *Pipeline) applyIngested(seq uint64, batch []graph.Update) error {
 		p.sinceCkpt++
 		if p.sinceCkpt >= p.cfg.CheckpointEvery {
 			if err := p.Checkpoint(); err != nil {
+				if wal.IsNoSpace(err) {
+					// Degrade, never poison: the batch is durable in the WAL
+					// and applied, only the checkpoint generation could not
+					// be cut. Keep serving on the log alone — sinceCkpt stays
+					// at the threshold so every batch retries, and sustained
+					// pressure turns into read-only at the admission gate.
+					return nil
+				}
 				return &IngestError{Seq: seq, Stage: "checkpoint", Err: err}
 			}
 		}
@@ -354,15 +506,23 @@ func (p *Pipeline) Checkpoint() error {
 	}
 	p.sinceCkpt = 0
 	p.col.Inc(stats.CtrServeCheckpoints)
+	return p.advanceRetention()
+}
 
-	// Retention: the oldest retained generation pins the replay tail,
-	// and replication (when present) pins it further — no live
-	// follower's catch-up, and no snapshot transfer in flight, may be
-	// truncated out from under it. A follower that nonetheless rejoins
-	// from below the floor is reseeded from a checkpoint, not served
-	// from the log, which is what lets retention advance past shipped
-	// checkpoints at all instead of pinning the log to the slowest
-	// replica forever.
+// advanceRetention truncates WAL segments nothing can still need: the
+// oldest retained checkpoint generation pins the replay tail, and
+// replication (when present) pins it further — no live follower's
+// catch-up, and no snapshot transfer in flight, may be truncated out
+// from under it. A follower that nonetheless rejoins from below the
+// floor is reseeded from a checkpoint, not served from the log, which
+// is what lets retention advance past shipped checkpoints at all
+// instead of pinning the log to the slowest replica forever. The
+// disk-pressure ladder calls this directly ("compact harder") because
+// it frees space without writing anything new.
+func (p *Pipeline) advanceRetention() error {
+	if p.ck == nil {
+		return nil
+	}
 	oldest := p.seq.Load()
 	for _, m := range p.ck.Metas() {
 		if m == nil {

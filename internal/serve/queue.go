@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"github.com/tdgraph/tdgraph/internal/graph"
@@ -38,6 +39,17 @@ var ErrShed = errors.New("serve: batch shed by admission control")
 // Close, or Get after Close once the queue has drained.
 var ErrQueueClosed = errors.New("serve: ingest queue closed")
 
+// updateWireBytes is one update's size in the WAL/wire encoding
+// (src u32 | dst u32 | weight f32 | flags u8) — the unit of the
+// queue's byte accounting, chosen to track what a queued batch will
+// actually cost downstream.
+const updateWireBytes = 13
+
+// batchBytes is the wire size a batch will occupy once encoded.
+func batchBytes(b []graph.Update) int64 {
+	return int64(len(b)) * updateWireBytes
+}
+
 // QueueConfig bounds the ingest queue.
 type QueueConfig struct {
 	// Capacity is the maximum queued batches (default 16).
@@ -49,27 +61,42 @@ type QueueConfig struct {
 	// default) means no cap: under sustained overload the two oldest
 	// batches keep merging without limit.
 	MaxBatchUpdates int
+	// MaxBytes bounds the total wire bytes queued (0 = unbounded). A
+	// queue at its byte bound behaves exactly like one at Capacity:
+	// coalesce, then the admission policy. A single batch larger than
+	// MaxBytes is still admitted when the queue is empty — an oversized
+	// batch must pass through alone, never wedge.
+	MaxBytes int64
+	// SLO, when non-nil, lets the admission controller tighten the
+	// queue: at PressureCoalesce batches merge eagerly before new
+	// entries queue, at PressureShed incoming work is dropped while a
+	// backlog exists.
+	SLO *SLOController
 }
 
 // QueueStats counts admission outcomes.
 type QueueStats struct {
-	Admitted  uint64 // batches accepted
-	Shed      uint64 // batches dropped (AdmitShed)
-	Coalesced uint64 // merges performed to absorb overload
-	MaxDepth  int    // high-water mark of queued batches
+	Admitted     uint64 // batches accepted
+	Shed         uint64 // batches dropped (AdmitShed or SLO pressure)
+	Coalesced    uint64 // merges performed to absorb overload
+	ShedSLO      uint64 // subset of Shed forced by the SLO controller
+	CoalescedSLO uint64 // subset of Coalesced forced by the SLO controller
+	MaxDepth     int    // high-water mark of queued batches
 }
 
 // Queue is the bounded buffer between sources and the durable
 // pipeline. Under overload it first grows batch granularity — the two
 // oldest queued batches merge into one, trading incremental-processing
 // efficiency for queue space — and only when no merge is possible does
-// the admission policy decide between blocking and shedding. Safe for
+// the admission policy decide between blocking and shedding. Bounds
+// are both batch-count (Capacity) and byte-based (MaxBytes). Safe for
 // one producer and one consumer (or several of each).
 type Queue struct {
 	mu       sync.Mutex
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
 	items    [][]graph.Update
+	bytes    int64 // wire bytes across items
 	cfg      QueueConfig
 	closed   bool
 	stats    QueueStats
@@ -86,18 +113,42 @@ func NewQueue(cfg QueueConfig) *Queue {
 	return q
 }
 
-// Put admits one batch, applying granularity growth and then the
-// admission policy when the queue is full. Returns ErrShed when the
-// batch was dropped, ErrQueueClosed after Close.
+// fullLocked reports whether admitting a batch of the given wire size
+// would breach a bound. The byte bound never blocks an empty queue:
+// an oversized batch is admitted alone rather than wedging forever.
+func (q *Queue) fullLocked(size int64) bool {
+	if len(q.items) >= q.cfg.Capacity {
+		return true
+	}
+	return q.cfg.MaxBytes > 0 && len(q.items) > 0 && q.bytes+size > q.cfg.MaxBytes
+}
+
+// Put admits one batch, applying SLO pressure, granularity growth and
+// then the admission policy when the queue is full. Returns ErrShed
+// when the batch was dropped, ErrQueueClosed after Close.
 func (q *Queue) Put(batch []graph.Update) error {
+	size := batchBytes(batch)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if q.closed {
 			return ErrQueueClosed
 		}
-		if len(q.items) < q.cfg.Capacity {
+		switch level := q.cfg.SLO.Level(); {
+		case level >= PressureShed && len(q.items) > 0:
+			// Shedding posture: refuse new work while a backlog exists.
+			q.stats.Shed++
+			q.stats.ShedSLO++
+			return fmt.Errorf("%w (SLO pressure)", ErrShed)
+		case level >= PressureCoalesce && 2*len(q.items) >= q.cfg.Capacity:
+			// Coalescing posture: merge before the queue fills, not after.
+			if q.coalesceLocked() {
+				q.stats.CoalescedSLO++
+			}
+		}
+		if !q.fullLocked(size) {
 			q.items = append(q.items, batch)
+			q.bytes += size
 			q.stats.Admitted++
 			if len(q.items) > q.stats.MaxDepth {
 				q.stats.MaxDepth = len(q.items)
@@ -128,6 +179,7 @@ func (q *Queue) coalesceLocked() bool {
 		return false
 	}
 	merged := stream.MergeBatches(q.items[0], q.items[1])
+	q.bytes += batchBytes(merged) - batchBytes(q.items[0]) - batchBytes(q.items[1])
 	q.items = append([][]graph.Update{merged}, q.items[2:]...)
 	q.stats.Coalesced++
 	return true
@@ -143,6 +195,7 @@ func (q *Queue) Get() ([]graph.Update, error) {
 		if len(q.items) > 0 {
 			batch := q.items[0]
 			q.items = q.items[1:]
+			q.bytes -= batchBytes(batch)
 			q.notFull.Signal()
 			return batch, nil
 		}
@@ -168,6 +221,13 @@ func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.items)
+}
+
+// Bytes returns the wire bytes currently queued.
+func (q *Queue) Bytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
 }
 
 // Stats returns the admission counters.

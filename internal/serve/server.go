@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	tdgraph "github.com/tdgraph/tdgraph"
 	"github.com/tdgraph/tdgraph/internal/sim"
@@ -26,6 +27,13 @@ type ServerConfig struct {
 	// event (restarts, poisonings, shedding); nil discards them. It may
 	// be called from the reader and serve goroutines concurrently.
 	OnEvent func(string)
+	// SLO is the ingest-latency objective (the -slo flag): when set, an
+	// admission controller watches ingest latency and queue depth and
+	// tightens the queue (coalesce harder, then shed) to defend it. 0
+	// disables SLO-driven admission control.
+	SLO time.Duration
+	// Clock is the time source latency is measured on (default real).
+	Clock Clock
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -37,6 +45,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.OnEvent == nil {
 		c.OnEvent = func(string) {}
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.Queue.Capacity <= 0 {
+		c.Queue.Capacity = 16
 	}
 	return c
 }
@@ -56,14 +70,25 @@ type Server struct {
 	cfg  ServerConfig
 	col  *stats.Collector
 	pipe *Pipeline
+	slo  *SLOController
 }
 
 // NewServer builds a server; the pipeline is not opened until Run.
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	cfg.Pipeline = cfg.Pipeline.withDefaults()
-	return &Server{cfg: cfg, col: cfg.Pipeline.Collector}
+	s := &Server{cfg: cfg, col: cfg.Pipeline.Collector}
+	if cfg.Queue.SLO != nil {
+		s.slo = cfg.Queue.SLO
+	} else {
+		s.slo = NewSLOController(SLOConfig{Target: cfg.SLO})
+		s.cfg.Queue.SLO = s.slo
+	}
+	return s
 }
+
+// SLO exposes the admission controller (nil when disabled).
+func (s *Server) SLO() *SLOController { return s.slo }
 
 // Collector returns the server's counter set.
 func (s *Server) Collector() *stats.Collector { return s.col }
@@ -163,7 +188,11 @@ func (s *Server) serveLoop(q *Queue) error {
 
 		failures := 0
 	attempt:
+		start := s.cfg.Clock.Now()
 		ierr := s.pipe.Ingest(batch)
+		// Feed the admission controller every attempt: slow or failing
+		// ingest is exactly the signal that should tighten the queue.
+		s.slo.Observe(s.cfg.Clock.Now().Sub(start), q.Len(), s.cfg.Queue.Capacity)
 		if ierr == nil {
 			continue
 		}
@@ -182,6 +211,14 @@ func (s *Server) serveLoop(q *Queue) error {
 			return ierr
 		}
 		if !durable {
+			if errors.Is(ierr, ErrDiskPressure) {
+				// Read-only under disk pressure: retrying immediately hits
+				// the same wall and poisoning would misreport a healthy
+				// batch. Shed it — the pipeline already counted the
+				// refusal — and keep draining so heartbeats/reads flow.
+				s.cfg.OnEvent(fmt.Sprintf("shed batch of %d updates (disk pressure)", len(batch)))
+				continue
+			}
 			// The batch never reached the log: re-attempt it against the
 			// same pipeline, then poison.
 			failures++
@@ -237,4 +274,6 @@ func (s *Server) foldQueueStats(q *Queue) {
 	qs := q.Stats()
 	s.col.Set(stats.CtrServeShed, qs.Shed)
 	s.col.Set(stats.CtrServeCoalesced, qs.Coalesced)
+	s.col.Set(stats.CtrQueueShedSLO, qs.ShedSLO)
+	s.col.Set(stats.CtrQueueCoalescedSLO, qs.CoalescedSLO)
 }

@@ -51,8 +51,10 @@ var ErrSourceGivenUp = errors.New("serve: source retries exhausted")
 // RetrySource hardens a flaky source: delivery failures are retried
 // with exponential backoff and jitter, behind a circuit breaker that
 // stops hammering a source that is down and probes it again after its
-// reset timeout. io.EOF and context cancellation pass straight
-// through.
+// reset timeout. io.EOF and caller cancellation pass straight through
+// without touching the breaker — only deadline and transport errors
+// count as source failures. When a failure carries a server
+// retry-after hint (backpressure), the next delay is floored at it.
 type RetrySource struct {
 	inner   Source
 	backoff *Backoff
@@ -103,15 +105,32 @@ func (r *RetrySource) Next(ctx context.Context) ([]graph.Update, error) {
 			continue
 		}
 		batch, err := r.inner.Next(ctx)
-		if err == nil || errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) {
+		if err == nil || errors.Is(err, io.EOF) {
 			r.breaker.Record(nil)
 			return batch, err
 		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			// The caller gave up (or a cancellation bubbled through the
+			// source): not a source failure. No retry, and crucially no
+			// breaker accounting — a shutdown must never trip the breaker
+			// open for the next session.
+			return batch, err
+		}
+		// Everything else — timeouts, expired batch deadlines, transport
+		// failures — feeds the breaker and is retried.
 		r.breaker.Record(err)
 		lastErr = err
 		r.retries++
-		if err := r.clock.Sleep(ctx, r.backoff.Delay(attempt)); err != nil {
+		delay := r.backoff.Delay(attempt)
+		var hint retryAfterHint
+		if errors.As(err, &hint) {
+			// The server told us when it wants to hear from us again;
+			// honor it as a floor on the backoff.
+			if ra := hint.RetryAfterHint(); ra > delay {
+				delay = ra
+			}
+		}
+		if err := r.clock.Sleep(ctx, delay); err != nil {
 			return nil, err
 		}
 	}

@@ -253,6 +253,15 @@ const (
 	CtrReplElections        = "repl.elections"         // election rounds entered after a timeout
 	CtrReplDemotions        = "repl.demotions"         // primaries that stepped down (fenced or isolated)
 	CtrReplRedirects        = "repl.redirects"         // client submissions redirected to the leader
+
+	// Overload and resource-exhaustion events (deadlines, SLO admission
+	// control, disk-pressure degradation).
+	CtrQueueShedSLO         = "queue.shed_slo"              // batches shed by the SLO controller
+	CtrQueueCoalescedSLO    = "queue.coalesced_slo"         // merges forced by the SLO controller
+	CtrServeDeadlineExpired = "serve.deadline_expired"      // batches refused/abandoned past their deadline
+	CtrServeDiskPressure    = "serve.disk_pressure_rejects" // ingests refused while under disk pressure
+	CtrServeReadonlyEntries = "serve.readonly_entries"      // transitions into read-only (disk full)
+	CtrServeReadonlyExits   = "serve.readonly_exits"        // transitions back to writable (space freed)
 )
 
 // Series is an ordered list of labelled float values — one bar group or one

@@ -35,6 +35,15 @@ type FS interface {
 	SyncDir(dir string) error
 }
 
+// FreeSpacer is the optional free-space probe on an FS. Implementations
+// report how many bytes the volume holding dir can still absorb. The
+// log discovers it by type assertion, so an FS without a meaningful
+// notion of capacity (tests, wrappers) simply doesn't implement it and
+// disk-pressure degradation stays disabled.
+type FreeSpacer interface {
+	FreeSpace(dir string) (uint64, error)
+}
+
 // OSFS is the production FS: the real filesystem via package os.
 type OSFS struct{}
 

@@ -1,0 +1,15 @@
+//go:build unix
+
+package wal
+
+import "syscall"
+
+// FreeSpace reports the bytes available to unprivileged writers on the
+// volume holding dir, making OSFS a FreeSpacer on unix hosts.
+func (OSFS) FreeSpace(dir string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return st.Bavail * uint64(st.Bsize), nil
+}

@@ -29,6 +29,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"syscall"
 
 	"github.com/tdgraph/tdgraph/internal/graph"
 )
@@ -54,6 +55,19 @@ var ErrTorn = errors.New("wal: torn record")
 // header, a sequence gap, or an invalid record with valid records after
 // it.
 var ErrCorrupt = errors.New("wal: log corrupt")
+
+// ErrNoSpace marks a failure caused by the volume running out of room.
+// It is retryable after space frees: the serving layer degrades to
+// read-only instead of poisoning batches or crashing. Fault injectors
+// wrap it; real ENOSPC from the OS is recognised by IsNoSpace.
+var ErrNoSpace = errors.New("wal: no space left on device")
+
+// IsNoSpace reports whether err is an out-of-space condition — either
+// the package sentinel (injected faults) or the OS errno surfacing
+// through an *os.PathError chain.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}
 
 // NotDurableError wraps a failure on Append's post-write path: the
 // record reached the segment file, but the fsync barrier or rotation
@@ -201,6 +215,22 @@ func (l *Log) DurableSeq() uint64 { return l.durable }
 
 // Stats returns operation counts since Open.
 func (l *Log) Stats() Stats { return l.stats }
+
+// FreeSpace probes the log's filesystem for remaining capacity. ok is
+// false when the FS has no free-space seam (FreeSpacer) or the probe
+// itself failed — callers must treat that as "unknown", not "empty",
+// and leave disk-pressure degradation disabled.
+func (l *Log) FreeSpace() (free uint64, ok bool) {
+	fsp, has := l.fs.(FreeSpacer)
+	if !has {
+		return 0, false
+	}
+	free, err := fsp.FreeSpace(l.opt.Dir)
+	if err != nil {
+		return 0, false
+	}
+	return free, true
+}
 
 func segName(baseSeq uint64) string { return fmt.Sprintf("%020d.wal", baseSeq) }
 
