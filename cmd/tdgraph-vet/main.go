@@ -4,11 +4,19 @@
 //
 //	go run ./cmd/tdgraph-vet ./...
 //
-// Checks: determinism, errwrap, lockorder, syncack, ctrreg — see
-// `tdgraph-vet -list` and the static-analysis ladder in DESIGN.md.
-// Suppress a finding with an inline directive carrying a reason:
+// Checks: determinism, clockseam, errwrap, lockorder, syncack, ctrreg,
+// plus the interprocedural layer — lockguard (inferred field guards),
+// lockhold (blocking ops under a held mutex), goroleak (goroutine
+// quiescence barriers in serve/replica/native), hotalloc (zero-alloc
+// native hot path) — see `tdgraph-vet -list` and the static-analysis
+// ladder in DESIGN.md. Suppress a finding with an inline directive
+// carrying a reason (a directive that stops matching any finding is
+// itself reported as stale):
 //
 //	//tdgraph:allow <check> <reason>
+//
+// -json emits one JSON object per diagnostic (suppressed rows
+// included) for CI artifacts and annotations.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or load failure.
 package main

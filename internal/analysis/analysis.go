@@ -43,7 +43,10 @@ import (
 	"strings"
 )
 
-// Check is one analyzer of the suite.
+// Check is one analyzer of the suite. Exactly one of Run / RunModule
+// is set: Run sees one package at a time; RunModule sees the whole
+// loaded set plus the shared call graph (the interprocedural checks:
+// lockguard, lockhold, goroleak, hotalloc).
 type Check struct {
 	// Name is the identifier used in diagnostics and in
 	// //tdgraph:allow directives.
@@ -52,6 +55,8 @@ type Check struct {
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded module at once.
+	RunModule func(pass *ModulePass)
 }
 
 // Pass carries everything a check needs to inspect one package.
@@ -85,6 +90,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:    p.CheckName,
 		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries the whole loaded set for interprocedural checks.
+type ModulePass struct {
+	// CheckName is the name of the check currently running.
+	CheckName string
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+	// Graph is the shared static call graph over Pkgs (packages with
+	// no type information contribute no nodes).
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos, positioned by the FileSet of
+// the package the node came from (golden packages can each carry
+// their own FileSet, so positioning must go through the owner).
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.CheckName,
+		Position: pkg.fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -160,31 +189,37 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 // suppress filters diags through the directives: a diagnostic is
 // dropped when a directive for its check sits on the same line
 // (trailing comment) or on the line directly above (standalone
-// comment). Returns the surviving diagnostics.
-func suppress(diags []Diagnostic, dirs []directive) []Diagnostic {
+// comment). Returns the surviving diagnostics, the suppressed ones,
+// and a per-directive used flag (the stale audit's input).
+func suppress(diags []Diagnostic, dirs []directive) (kept, dropped []Diagnostic, used []bool) {
+	used = make([]bool, len(dirs))
 	if len(dirs) == 0 {
-		return diags
+		return diags, nil, used
 	}
 	type fileLine struct {
 		file string
 		line int
 	}
-	cov := make(map[string]map[fileLine]bool)
-	for _, d := range dirs {
+	cov := make(map[string]map[fileLine][]int)
+	for i, d := range dirs {
 		if cov[d.check] == nil {
-			cov[d.check] = make(map[fileLine]bool)
+			cov[d.check] = make(map[fileLine][]int)
 		}
-		cov[d.check][fileLine{d.file, d.line.Line}] = true
-		cov[d.check][fileLine{d.file, d.line.Line + 1}] = true
+		cov[d.check][fileLine{d.file, d.line.Line}] = append(cov[d.check][fileLine{d.file, d.line.Line}], i)
+		cov[d.check][fileLine{d.file, d.line.Line + 1}] = append(cov[d.check][fileLine{d.file, d.line.Line + 1}], i)
 	}
-	out := diags[:0]
+	kept = diags[:0]
 	for _, d := range diags {
-		if cov[d.Check][fileLine{d.Position.Filename, d.Position.Line}] {
+		if idxs := cov[d.Check][fileLine{d.Position.Filename, d.Position.Line}]; len(idxs) > 0 {
+			for _, i := range idxs {
+				used[i] = true
+			}
+			dropped = append(dropped, d)
 			continue
 		}
-		out = append(out, d)
+		kept = append(kept, d)
 	}
-	return out
+	return kept, dropped, used
 }
 
 // sortDiagnostics orders findings by file, line, column, check.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -62,6 +63,34 @@ func TestDriverBadPatternExitTwo(t *testing.T) {
 	var out, errb strings.Builder
 	if code := Main([]string{"no/such/dir"}, &out, &errb); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestDriverJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := Main([]string{"-json", "internal/analysis/testdata/driver"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var sawErrwrap bool
+	for _, line := range lines {
+		var d JSONDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q is not one JSON object: %v", line, err)
+		}
+		if d.Check == "" || d.File == "" || d.Line == 0 || d.Msg == "" {
+			t.Fatalf("incomplete diagnostic %+v from line %q", d, line)
+		}
+		if strings.HasPrefix(d.File, "/") {
+			t.Fatalf("file %q is absolute; -json promises module-relative paths", d.File)
+		}
+		if d.Check == "errwrap" && !d.Suppressed && d.File == "internal/analysis/testdata/driver/bad.go" {
+			sawErrwrap = true
+		}
+	}
+	if !sawErrwrap {
+		t.Fatalf("no unsuppressed errwrap diagnostic in -json output:\n%s", out.String())
 	}
 }
 

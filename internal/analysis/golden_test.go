@@ -2,9 +2,9 @@ package analysis
 
 import "testing"
 
-// The six project checks, each against its golden testdata package.
-// The import path override places the testdata inside (or outside)
-// the package sets the checks gate on.
+// The project checks, each against its golden testdata package. The
+// import path override places the testdata inside (or outside) the
+// package sets the checks gate on.
 
 func TestGoldenDeterminism(t *testing.T) {
 	runGolden(t, DeterminismCheck(), "determinism", "github.com/tdgraph/tdgraph/internal/sim", nil)
@@ -29,6 +29,37 @@ func TestGoldenSyncack(t *testing.T) {
 func TestGoldenCtrreg(t *testing.T) {
 	runGolden(t, CtrregCheck(), "ctrreg", "github.com/tdgraph/tdgraph/internal/vettest",
 		map[string]bool{"x.registered": true, "wal.appends": true})
+}
+
+// TestGoldenLockguard runs the distilled pre-2af44cb isolatedSince
+// regression: the wrong-lock probe read must fire, and every deliberate
+// exemption (constructor, inherited guard, dual-guard, immutable
+// field) must stay silent — runGolden matches exactly, so any extra
+// diagnostic fails the test.
+func TestGoldenLockguard(t *testing.T) {
+	runGolden(t, LockguardCheck(), "lockguard", "github.com/tdgraph/tdgraph/internal/vettest/lockguard", nil)
+}
+
+func TestGoldenLockhold(t *testing.T) {
+	runGolden(t, LockholdCheck(), "lockhold", "github.com/tdgraph/tdgraph/internal/vettest/lockhold", nil)
+}
+
+// TestGoldenGoroleak loads the fixture under an internal/serve
+// subpath, inside the goroutine-lifecycle gate.
+func TestGoldenGoroleak(t *testing.T) {
+	runGolden(t, GoroleakCheck(), "goroleak", "github.com/tdgraph/tdgraph/internal/serve/pool", nil)
+}
+
+// TestGoldenHotalloc loads the fixture under the internal/native path
+// so the Session ApplyBatch/propagate entry points seed the hot set.
+func TestGoldenHotalloc(t *testing.T) {
+	runGolden(t, HotallocCheck(), "hotalloc", "github.com/tdgraph/tdgraph/internal/native", nil)
+}
+
+// TestGoldenHotallocMarker proves the //tdgraph:hot doc marker seeds
+// the hot set with no help from the package path.
+func TestGoldenHotallocMarker(t *testing.T) {
+	runGolden(t, HotallocCheck(), "hotallocmark", "github.com/tdgraph/tdgraph/internal/vettest", nil)
 }
 
 // TestGoldenDeterminismOutsideSet proves the package gate: the same
@@ -61,5 +92,28 @@ func TestGoldenSyncackOutsideSet(t *testing.T) {
 	diags := RunChecks([]*Check{SyncackCheck()}, pkg, nil)
 	if len(diags) != 0 {
 		t.Fatalf("syncack fired outside wal/replica: %v", diags)
+	}
+}
+
+// TestGoldenGoroleakOutsideSet proves the serve/replica/native gate:
+// the same leaky launches under a stream path yield nothing.
+func TestGoldenGoroleakOutsideSet(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg := loadGoldenPackage(t, loader, "goroleak", "github.com/tdgraph/tdgraph/internal/stream2/pool")
+	diags := RunChecks([]*Check{GoroleakCheck()}, pkg, nil)
+	if len(diags) != 0 {
+		t.Fatalf("goroleak fired outside serve/replica/native: %v", diags)
+	}
+}
+
+// TestGoldenHotallocOutsideSet proves the entry gate: with the same
+// Session type under a non-native path (and no //tdgraph:hot marker in
+// the files), there are no hot entries and nothing fires.
+func TestGoldenHotallocOutsideSet(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg := loadGoldenPackage(t, loader, "hotalloc", "github.com/tdgraph/tdgraph/internal/fastmath")
+	diags := RunChecks([]*Check{HotallocCheck()}, pkg, nil)
+	if len(diags) != 0 {
+		t.Fatalf("hotalloc fired with no hot entries: %v", diags)
 	}
 }

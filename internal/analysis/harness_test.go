@@ -24,6 +24,14 @@ var (
 	loaderOnce sync.Once
 	testLoader *Loader
 	loaderErr  error
+
+	// goldenCache holds one parsed+type-checked Package per
+	// (testdata dir, import path), so the suite loads each fixture
+	// once no matter how many checks run against it. Before this
+	// hoist every golden test re-parsed and re-type-checked its
+	// package, and the suite's load work grew with the check count.
+	goldenMu    sync.Mutex
+	goldenCache = map[string]*Package{}
 )
 
 // sharedLoader returns one Loader per test binary so stdlib packages
@@ -82,9 +90,15 @@ func runGolden(t *testing.T, check *Check, name, pkgPath string, counters map[st
 }
 
 // loadGoldenPackage parses and type-checks testdata/<name> under the
-// given import path.
+// given import path, caching the result per (name, pkgPath).
 func loadGoldenPackage(t *testing.T, loader *Loader, name, pkgPath string) *Package {
 	t.Helper()
+	key := name + "\x00" + pkgPath
+	goldenMu.Lock()
+	defer goldenMu.Unlock()
+	if pkg, ok := goldenCache[key]; ok {
+		return pkg
+	}
 	dir := filepath.Join("testdata", name)
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -110,6 +124,7 @@ func loadGoldenPackage(t *testing.T, loader *Loader, name, pkgPath string) *Pack
 	}
 	pkg := &Package{Path: pkgPath, Dir: dir, Files: files, Pkg: tpkg, Info: info}
 	pkg.SetFset(loader.Fset)
+	goldenCache[key] = pkg
 	return pkg
 }
 

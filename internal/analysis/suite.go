@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -20,6 +21,10 @@ func Checks() []*Check {
 		LockorderCheck(),
 		SyncackCheck(),
 		CtrregCheck(),
+		LockguardCheck(),
+		LockholdCheck(),
+		GoroleakCheck(),
+		HotallocCheck(),
 	}
 }
 
@@ -32,29 +37,104 @@ func checkNames(checks []*Check) map[string]bool {
 	return m
 }
 
-// RunChecks runs every check over one loaded package and returns the
-// surviving (non-suppressed) diagnostics plus directive-validation
-// diagnostics, sorted by position.
-func RunChecks(checks []*Check, pkg *Package, counters map[string]bool) []Diagnostic {
+// SuiteOptions tunes one RunSuite invocation.
+type SuiteOptions struct {
+	// Counters seeds the ctrreg registry.
+	Counters map[string]bool
+	// AuditStale reports a "directive" finding for every
+	// //tdgraph:allow (of a check being run) that suppressed nothing.
+	AuditStale bool
+	// KnownChecks is the valid-name set for directive validation.
+	// Defaults to the names of the checks being run. The driver passes
+	// the full suite's names so `-checks a,b` does not misreport valid
+	// directives for unselected checks as unknown.
+	KnownChecks map[string]bool
+}
+
+// SuiteResult is what RunSuite produced, sorted by position.
+type SuiteResult struct {
+	// Findings are the surviving diagnostics (including directive
+	// validation and stale-directive audit findings).
+	Findings []Diagnostic
+	// Suppressed are the diagnostics a //tdgraph:allow absorbed —
+	// kept for -json so waived debt stays visible to tooling.
+	Suppressed []Diagnostic
+}
+
+// RunSuite runs per-package checks over each package and module
+// checks over the whole set (sharing one call graph), then applies
+// suppression directives globally.
+func RunSuite(checks []*Check, pkgs []*Package, opts SuiteOptions) SuiteResult {
 	var diags []Diagnostic
+	var moduleChecks []*Check
 	for _, c := range checks {
-		pass := &Pass{
-			CheckName: c.Name,
-			Path:      pkg.Path,
-			Fset:      tokenFileSetOf(pkg),
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			Info:      pkg.Info,
-			Counters:  counters,
-			diags:     &diags,
+		if c.RunModule != nil {
+			moduleChecks = append(moduleChecks, c)
 		}
-		c.Run(pass)
 	}
-	dirs, dirDiags := parseDirectives(tokenFileSetOf(pkg), pkg.Files, checkNames(checks))
-	diags = suppress(diags, dirs)
-	diags = append(diags, dirDiags...)
-	sortDiagnostics(diags)
-	return diags
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			if c.Run == nil {
+				continue
+			}
+			c.Run(&Pass{
+				CheckName: c.Name,
+				Path:      pkg.Path,
+				Fset:      tokenFileSetOf(pkg),
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				Info:      pkg.Info,
+				Counters:  opts.Counters,
+				diags:     &diags,
+			})
+		}
+	}
+	if len(moduleChecks) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, c := range moduleChecks {
+			c.RunModule(&ModulePass{CheckName: c.Name, Pkgs: pkgs, Graph: graph, diags: &diags})
+		}
+	}
+
+	known := opts.KnownChecks
+	if known == nil {
+		known = checkNames(checks)
+	}
+	var dirs []directive
+	var dirDiags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, dd := parseDirectives(tokenFileSetOf(pkg), pkg.Files, known)
+		dirs = append(dirs, ds...)
+		dirDiags = append(dirDiags, dd...)
+	}
+	kept, suppressed, used := suppress(diags, dirs)
+	kept = append(kept, dirDiags...)
+	if opts.AuditStale {
+		run := checkNames(checks)
+		for i, d := range dirs {
+			if used[i] || !run[d.check] {
+				continue
+			}
+			kept = append(kept, Diagnostic{Check: "directive", Position: d.line,
+				Message: fmt.Sprintf("stale %s %s: no %s diagnostic on the covered lines; remove the waiver", AllowDirective, d.check, d.check)})
+		}
+	}
+	sortDiagnostics(kept)
+	sortDiagnostics(suppressed)
+	return SuiteResult{Findings: kept, Suppressed: suppressed}
+}
+
+// RunChecks runs checks over one loaded package and returns the
+// surviving (non-suppressed) diagnostics plus directive-validation
+// diagnostics, sorted by position. Directive names are validated
+// against the full suite regardless of the subset being run; stale
+// directives are not audited here (that is a driver concern).
+func RunChecks(checks []*Check, pkg *Package, counters map[string]bool) []Diagnostic {
+	res := RunSuite(checks, []*Package{pkg}, SuiteOptions{
+		Counters:    counters,
+		KnownChecks: checkNames(Checks()),
+	})
+	return res.Findings
 }
 
 // tokenFileSetOf returns the FileSet that positioned pkg's files.
@@ -97,8 +177,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the checks and exit")
 	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (suppressed ones included) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tdgraph-vet [-list] [-checks a,b] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: tdgraph-vet [-list] [-json] [-checks a,b] [packages]\n\n"+
 			"Runs the TDGraph project-invariant analyzers over the given package\n"+
 			"patterns (default ./...). Suppress a finding with an inline\n"+
 			"directive carrying a reason: %s <check> <reason>\n\nChecks:\n", AllowDirective)
@@ -174,18 +255,57 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	findings := 0
-	for _, p := range pkgs {
-		for _, d := range RunChecks(checks, p, counters) {
-			findings++
+	res := RunSuite(checks, pkgs, SuiteOptions{
+		Counters:    counters,
+		AuditStale:  true,
+		KnownChecks: checkNames(Checks()),
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range res.Findings {
+			_ = enc.Encode(jsonDiag(loader, d, false))
+		}
+		for _, d := range res.Suppressed {
+			_ = enc.Encode(jsonDiag(loader, d, true))
+		}
+	} else {
+		for _, d := range res.Findings {
 			fmt.Fprintln(stdout, relposition(loader, d))
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "tdgraph-vet: %d finding(s)\n", findings)
+	if n := len(res.Findings); n > 0 {
+		fmt.Fprintf(stderr, "tdgraph-vet: %d finding(s)\n", n)
 		return 1
 	}
 	return 0
+}
+
+// JSONDiagnostic is the -json wire format: one object per line, with
+// module-relative file paths. Suppressed diagnostics are emitted too
+// (suppressed=true) so tooling can track waived debt; they do not
+// affect the exit code.
+type JSONDiagnostic struct {
+	Check      string `json:"check"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func jsonDiag(l *Loader, d Diagnostic, suppressed bool) JSONDiagnostic {
+	name := d.Position.Filename
+	if rel, ok := strings.CutPrefix(name, l.dir+"/"); ok {
+		name = rel
+	}
+	return JSONDiagnostic{
+		Check:      d.Check,
+		File:       name,
+		Line:       d.Position.Line,
+		Col:        d.Position.Column,
+		Msg:        d.Message,
+		Suppressed: suppressed,
+	}
 }
 
 // relposition renders a diagnostic with the filename relative to the

@@ -1,0 +1,99 @@
+// Package goroleak exercises the quiescence-barrier evidence classes:
+// local WaitGroup, field WaitGroup joined by Close, a channel field
+// closed by Close/Stop (with index unwrapping, the native workerLoop
+// shape), and the two leak shapes — a consumed channel nothing closes
+// and a launched free function with no barrier at all.
+package goroleak
+
+import "sync"
+
+type Pool struct {
+	kick []chan struct{}
+	wg   sync.WaitGroup
+	stop chan struct{}
+	feed chan int
+}
+
+// NewPool launches the workerLoop shape: each worker ranges a kick
+// channel that Close closes, index expressions unwrapped on both ends.
+func NewPool(workers int) *Pool {
+	p := &Pool{kick: make([]chan struct{}, workers), stop: make(chan struct{}), feed: make(chan int)}
+	for i := range p.kick {
+		p.kick[i] = make(chan struct{}, 1)
+		go p.workerLoop(i)
+	}
+	return p
+}
+
+func (p *Pool) workerLoop(i int) {
+	for range p.kick[i] {
+	}
+}
+
+func (p *Pool) Close() {
+	for i := range p.kick {
+		close(p.kick[i])
+	}
+	p.wg.Wait()
+}
+
+func (p *Pool) Stop() {
+	close(p.stop)
+}
+
+// spawnTracked joins through the field WaitGroup: Done in the body,
+// Wait in Close.
+func (p *Pool) spawnTracked() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// fanOut joins through a launcher-local WaitGroup.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnStoppable consumes the stop field, which Stop closes: the
+// receive is the barrier signal.
+func (p *Pool) spawnStoppable() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case v := <-p.feed:
+				_ = v
+			}
+		}
+	}()
+}
+
+// spawnLeaky consumes feed, but no Close-family method ever closes
+// feed — the goroutine outlives the pool.
+func (p *Pool) spawnLeaky() {
+	go func() { // want `goroutine has no provable quiescence barrier`
+		for v := range p.feed {
+			_ = v
+		}
+	}()
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// spawnFree launches a free function with no receiver to hang
+// evidence off: unprovable, flagged.
+func spawnFree(ch chan int) {
+	go drain(ch) // want `goroutine has no provable quiescence barrier`
+}

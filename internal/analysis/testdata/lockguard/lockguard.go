@@ -1,0 +1,117 @@
+// Package lockguard distills the pre-2af44cb isolatedSince race: a
+// field written and mostly read under mu, with one probe path reading
+// it under the wrong lock entirely. The fixture also exercises every
+// deliberate exemption: the constructor (unescaped values need no
+// lock), one-level guard inheritance into helpers, the dual-guard
+// write idiom, and immutable-after-construction fields.
+package lockguard
+
+import (
+	"sync"
+	"time"
+)
+
+type Node struct {
+	mu  sync.Mutex // guards isolatedSince
+	pmu sync.Mutex // guards the replication side
+
+	isolatedSince time.Time
+
+	// epoch is written under both locks and may be read under either
+	// (the documented dual-guard idiom: readers may hold any lock all
+	// writers hold).
+	epoch uint64
+
+	// addr is set once before the node is published and never
+	// reassigned: immutable fields need no guard.
+	addr string
+}
+
+func NewNode(addr string) *Node {
+	n := &Node{}
+	n.addr = addr // constructor exemption: n has not escaped yet
+	return n
+}
+
+func (n *Node) markIsolated(now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.isolatedSince.IsZero() {
+		n.isolatedSince = now
+	}
+}
+
+func (n *Node) clearIsolation() {
+	n.mu.Lock()
+	n.isolatedSince = time.Time{}
+	n.mu.Unlock()
+}
+
+func (n *Node) isolationSpan(now time.Time) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.span(now)
+}
+
+// span sees mu through one level of call inheritance: every static
+// call site holds it, so accesses here count as guarded.
+func (n *Node) span(now time.Time) time.Duration {
+	if n.isolatedSince.IsZero() {
+		return 0
+	}
+	return now.Sub(n.isolatedSince)
+}
+
+// isolated reads the flag under its guard.
+func (n *Node) isolated() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.isolatedSince.IsZero()
+}
+
+// demote is one historical bug shape: probing isolation state under
+// the replication mutex, not the one that guards it.
+func (n *Node) demote() bool {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	return !n.isolatedSince.IsZero() // want `field lockguard.Node.isolatedSince is guarded by mu`
+}
+
+// tick is the other (the pre-2af44cb leaderTick): probing with no
+// lock held at all.
+func (n *Node) tick() bool {
+	return !n.isolatedSince.IsZero() // want `accesses it without holding it \(held: none\)`
+}
+
+func (n *Node) bumpEpoch() {
+	n.mu.Lock()
+	n.pmu.Lock()
+	n.epoch++
+	n.pmu.Unlock()
+	n.mu.Unlock()
+}
+
+func (n *Node) epochLocked() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+func (n *Node) epochLockedAgain() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// epochFromReplication reads under pmu alone — fine, because every
+// write to epoch holds pmu too.
+func (n *Node) epochFromReplication() uint64 {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	return n.epoch
+}
+
+// Addr needs no lock: addr is never assigned after construction.
+func (n *Node) Addr() string { return n.addr }
+
+func (n *Node) describe() string { return "node@" + n.addr }

@@ -1,0 +1,159 @@
+// Package lockhold exercises every blocking class and every escape:
+// sleeps, dials, bare channel ops, WaitGroup.Wait, stream I/O with and
+// without a deadline guard, select escapes, go/defer exemptions, and
+// one level of transitive propagation through a helper.
+package lockhold
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+	conn *stream
+	dial func(addr string) (net.Conn, error)
+}
+
+// stream is a concrete net.Conn-shaped type: the deadline-method
+// triple is the fingerprint lockhold keys on.
+type stream struct{}
+
+func (*stream) Read(p []byte) (int, error)        { return 0, nil }
+func (*stream) Write(p []byte) (int, error)       { return len(p), nil }
+func (*stream) Close() error                      { return nil }
+func (*stream) SetReadDeadline(t time.Time) error { return nil }
+func (*stream) SetWriteDeadline(t time.Time) error {
+	return nil
+}
+
+func (q *queue) sleepUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks while holding q.mu`
+}
+
+func (q *queue) dialUnderLock(addr string) net.Conn {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, _ := net.Dial("tcp", addr) // want `net.Dial blocks on the network while holding q.mu`
+	return c
+}
+
+func (q *queue) dialSeamUnderLock(addr string) net.Conn {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, _ := q.dial(addr) // want `dial through func value blocks on the network while holding q.mu`
+	return c
+}
+
+func (q *queue) sendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `bare channel send blocks while holding q.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) recvUnderLock() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `bare channel receive blocks while holding q.mu`
+}
+
+func (q *queue) drainUnderLock() (n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for v := range q.ch { // want `range over channel blocks between messages while holding q.mu`
+		n += v
+	}
+	return n
+}
+
+func (q *queue) waitUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wg.Wait() // want `WaitGroup.Wait blocks until all workers finish while holding q.mu`
+}
+
+// condWait is exempt: (*sync.Cond).Wait releases the mutex.
+func (q *queue) condWait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.cond.Wait()
+}
+
+func (q *queue) writeUnderLock(p []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.conn.Write(p) // want `Write on net.Conn blocks without a deadline while holding q.mu`
+}
+
+// writeWithDeadline is the writeFrame idiom: the deadline bounds the
+// I/O, so the same Write passes.
+func (q *queue) writeWithDeadline(p []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.conn.SetWriteDeadline(time.Time{})
+	q.conn.Write(p)
+}
+
+// singleSelect is a decorated bare receive; multiSelect and
+// defaultSelect have escape paths and pass.
+func (q *queue) singleSelect() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `single-clause select blocks like a bare channel op while holding q.mu`
+	case <-q.ch:
+	}
+}
+
+func (q *queue) multiSelect(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case <-q.ch:
+	case <-done:
+	}
+}
+
+func (q *queue) defaultSelect() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case <-q.ch:
+	default:
+	}
+}
+
+// slowPoll blocks intrinsically but holds nothing itself: clean here,
+// flagged at any locked call site.
+func (q *queue) slowPoll() {
+	time.Sleep(time.Millisecond)
+}
+
+func (q *queue) pollUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.slowPoll() // want `call to \(\*lockhold\.queue\)\.slowPoll while holding q.mu: it time.Sleep blocks`
+}
+
+// spawnUnderLock passes: the goroutine body does not block the locked
+// path, and a deferred send runs after the unlock on the return edge.
+func (q *queue) spawnUnderLock(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() { q.ch <- v }()
+	defer func() { q.ch <- v }()
+}
+
+// unlockedOps: every blocking class is fine with no lock held.
+func (q *queue) unlockedOps(addr string, p []byte) {
+	time.Sleep(time.Millisecond)
+	q.ch <- 1
+	<-q.ch
+	q.conn.Write(p)
+	net.Dial("tcp", addr)
+}

@@ -138,6 +138,7 @@ func (fc *faultConn) Write(p []byte) (int, error) {
 	}
 	if ms, ok := fc.in.armed[NetDelay]; ok {
 		fc.in.count(NetDelay)
+		//tdgraph:allow lockhold NetDelay stalls the connection under its lock on purpose: injected latency must serialize with the frames it delays
 		time.Sleep(time.Duration(ms) * time.Millisecond)
 	}
 

@@ -428,7 +428,7 @@ func (f *Follower) installSnapshot(conn net.Conn, seq uint64, offer snapOffer, p
 	// our entire history, and our old stamps described records the
 	// reset WAL no longer holds. Durable before the ack, like every
 	// other ledger write.
-	adopted := TermState{Term: f.state.Term, Ledger: append([]TermBase(nil), offer.Ledger...)}
+	adopted := TermState{Term: f.Term(), Ledger: append([]TermBase(nil), offer.Ledger...)}
 	if err := SaveTermState(f.fs, f.dir, adopted); err != nil {
 		return fmt.Errorf("%w: resetting term ledger: %w", ErrReseedAborted, err)
 	}
@@ -437,7 +437,7 @@ func (f *Follower) installSnapshot(conn net.Conn, seq uint64, offer snapOffer, p
 	f.fs.SyncDir(f.dir)
 	f.col.Inc(stats.CtrReplReseedInstalls)
 	f.cfg.OnEvent(fmt.Sprintf("installed snapshot at seq %d (%d bytes)", installed, offer.Total))
-	return WriteFrame(conn, Frame{Type: FrameAck, Term: f.state.Term, Seq: installed})
+	return WriteFrame(conn, Frame{Type: FrameAck, Term: adopted.Term, Seq: installed})
 }
 
 // loadPartial returns the bytes of a resumable partial transfer: the
